@@ -1,0 +1,120 @@
+// Command idxflow-experiments regenerates the tables and figures of the
+// paper's evaluation (§6). By default it runs everything; -exp selects a
+// single experiment.
+//
+// Usage:
+//
+//	idxflow-experiments [-exp id] [-seed n] [-horizon quanta] [-scale s] [-trials n]
+//
+// Experiment ids: params, table4, table5, table6, fig3, fig6, fig7, fig8,
+// fig9, fig10, fig11, fig12 (phase workload, includes table7 and fig13),
+// table6disk (Table 6 against the disk-backed paged storage engine),
+// fig14 (random workload), ablation (design-knob sweeps; not in "all"), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idxflow/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (params, table4..6, fig3, fig6..14, all)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		horizon = flag.Float64("horizon", 720, "dynamic-experiment horizon in quanta")
+		scale   = flag.Float64("scale", 0.05, "TPC-H scale factor for table6 (paper: 2)")
+		trials  = flag.Int("trials", 3, "trials per point for fig6/fig7")
+	)
+	flag.Parse()
+
+	run := func(id string) bool {
+		if id == "ablation" {
+			return *exp == id // too heavy for "all"
+		}
+		return *exp == "all" || *exp == id
+	}
+	horizonSec := *horizon * 60
+
+	if run("params") {
+		fmt.Println(experiments.Params())
+	}
+	if run("table4") {
+		fmt.Println(experiments.Table4(*seed, 5))
+	}
+	if run("table5") {
+		fmt.Println(experiments.Table5())
+	}
+	if run("table6") {
+		res, err := experiments.Table6(*scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table6:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table)
+	}
+	if run("table6disk") {
+		res, err := experiments.Table6Disk(*scale, *seed, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table6disk:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table)
+	}
+	if run("fig3") {
+		fmt.Println(experiments.Fig3())
+	}
+	if run("fig6") {
+		fmt.Println(experiments.Fig6(*seed, *trials))
+	}
+	if run("fig7") {
+		fmt.Println(experiments.Fig7(*seed, *trials).Table)
+	}
+	if run("fig8") {
+		fmt.Println(experiments.Fig8(*seed).Table)
+	}
+	if run("fig9") {
+		res := experiments.Fig9(*seed)
+		fmt.Println(res.Table)
+		fmt.Println(res.Timeline)
+	}
+	if run("fig10") {
+		_, tab := experiments.Fig10(*seed)
+		fmt.Println(tab)
+	}
+	if run("fig11") {
+		fmt.Println(experiments.Fig11(*seed).Table)
+	}
+	if run("fig12") || run("table7") || run("fig13") {
+		res := experiments.Phase(*seed, horizonSec)
+		fmt.Println(res.Finished)
+		fmt.Println(res.Cost)
+		fmt.Println(res.Ops)
+		fmt.Println(res.Adapt)
+	}
+	if run("ablation") {
+		fmt.Println(experiments.Ablations(*seed, horizonSec))
+	}
+	if run("fig14") {
+		res := experiments.Random(*seed, horizonSec)
+		fmt.Println(res.Finished)
+		fmt.Println(res.Cost)
+	}
+	if !anyKnown(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func anyKnown(id string) bool {
+	known := "all params table4 table5 table6 table6disk fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table7 fig13 fig14 ablation"
+	for _, k := range strings.Fields(known) {
+		if id == k {
+			return true
+		}
+	}
+	return false
+}

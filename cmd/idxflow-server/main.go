@@ -1,0 +1,55 @@
+// Command idxflow-server runs the QaaS service as an HTTP server: dataflows
+// are submitted in flowlang format to POST /v1/dataflows and executed with
+// online index tuning; GET /v1/indexes, /v1/metrics and /v1/tables expose
+// the service state.
+//
+// Usage:
+//
+//	idxflow-server [-addr :8080] [-strategy gain] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"idxflow/internal/core"
+	"idxflow/internal/server"
+	"idxflow/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		strategy = flag.String("strategy", "gain", "no-index | random | gain-no-delete | gain")
+		seed     = flag.Int64("seed", 1, "random seed for the file database")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *strategy {
+	case "no-index":
+		cfg.Strategy = core.NoIndex
+	case "random":
+		cfg.Strategy = core.RandomIndex
+	case "gain-no-delete":
+		cfg.Strategy = core.GainNoDelete
+	case "gain":
+		cfg.Strategy = core.Gain
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	db, err := workload.NewFileDB(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := core.NewService(cfg, db)
+	srv := server.New(svc, db)
+	log.Printf("idxflow-server listening on %s (strategy %s, %d tables, %d potential indexes)",
+		*addr, cfg.Strategy, len(db.Files), len(db.Catalog.IndexNames()))
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,144 @@
+// Command idxflow-sim runs the QaaS service on a generated dataflow
+// workload and reports throughput, cost and index-management activity.
+//
+// Usage:
+//
+//	idxflow-sim [-strategy gain] [-generator phase] [-horizon 720]
+//	            [-algo lp] [-seed 1] [-error 0.1] [-v]
+//	idxflow-sim -flow path/to/flow.txt [-flow more.txt]  # submit flowlang files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idxflow/internal/core"
+	"idxflow/internal/dataflow"
+	"idxflow/internal/flowlang"
+	"idxflow/internal/workload"
+)
+
+// flowFiles collects repeated -flow flags.
+type flowFiles []string
+
+func (f *flowFiles) String() string { return fmt.Sprint(*f) }
+func (f *flowFiles) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var (
+		strategy  = flag.String("strategy", "gain", "no-index | random | gain-no-delete | gain")
+		generator = flag.String("generator", "phase", "phase | random")
+		algo      = flag.String("algo", "lp", "interleaving algorithm: lp | online")
+		horizon   = flag.Float64("horizon", 720, "horizon in quanta")
+		seed      = flag.Int64("seed", 1, "random seed")
+		errPct    = flag.Float64("error", 0.1, "runtime estimation error fraction (0..1)")
+		verbose   = flag.Bool("v", false, "print per-dataflow results")
+	)
+	var files flowFiles
+	flag.Var(&files, "flow", "flowlang file to submit (repeatable; overrides -generator)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.RuntimeError = *errPct
+	switch *strategy {
+	case "no-index":
+		cfg.Strategy = core.NoIndex
+	case "random":
+		cfg.Strategy = core.RandomIndex
+	case "gain-no-delete":
+		cfg.Strategy = core.GainNoDelete
+	case "gain":
+		cfg.Strategy = core.Gain
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	switch *algo {
+	case "lp":
+		cfg.Algo = core.LPInterleave
+	case "online":
+		cfg.Algo = core.OnlineInterleave
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algo %q\n", *algo)
+		os.Exit(2)
+	}
+
+	db, err := workload.NewFileDB(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := workload.NewGenerator(db, *seed+1)
+	horizonSec := *horizon * 60
+	var flows []*dataflow.Flow
+	if len(files) > 0 {
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			flow, perr := flowlang.Parse(f)
+			f.Close()
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, perr)
+				os.Exit(1)
+			}
+			flows = append(flows, flow)
+		}
+		*generator = "files"
+	} else {
+		switch *generator {
+		case "phase":
+			phases := workload.DefaultPhases()
+			if horizonSec < 43200 {
+				f := horizonSec / 43200
+				for i := range phases {
+					phases[i].Seconds *= f
+				}
+			}
+			flows = gen.PhaseWorkload(phases, 60)
+		case "random":
+			flows = gen.RandomWorkload(horizonSec, 60)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown generator %q\n", *generator)
+			os.Exit(2)
+		}
+	}
+
+	svc := core.NewService(cfg, db)
+	m := svc.Run(flows, horizonSec)
+
+	if *verbose {
+		for _, r := range m.Results {
+			fmt.Printf("%-16s start=%8.0fs makespan=%7.1fs money=%5.1fq idx-used=%d builds=%d killed=%d deleted=%d\n",
+				r.Flow.Name, r.Start, r.Makespan, r.MoneyQuanta,
+				len(r.IndexesUsed), r.BuildsCompleted, r.BuildsKilled, len(r.Deleted))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("strategy:          %s (interleaving: %s)\n", cfg.Strategy, *algo)
+	fmt.Printf("generator:         %s, horizon %g quanta, seed %d\n", *generator, *horizon, *seed)
+	fmt.Printf("dataflows:         %d finished / %d submitted / %d generated\n",
+		m.FlowsFinished, m.FlowsSubmitted, len(flows))
+	fmt.Printf("mean makespan:     %.1f s\n", m.MeanMakespan)
+	fmt.Printf("VM cost:           $%.2f (%.0f quanta)\n", m.VMCost, m.VMQuanta)
+	fmt.Printf("storage cost:      $%.4f\n", m.StorageCost)
+	fmt.Printf("cost per dataflow: $%.3f\n", m.CostPerFlow)
+	fmt.Printf("operators:         %d total, %d killed (%.1f%%)\n",
+		m.TotalOps, m.KilledOps, pct(m.KilledOps, m.TotalOps))
+	fmt.Printf("indexes available: %d (storage %.1f MB)\n",
+		len(svc.Catalog().AvailableSet()), svc.Catalog().BuiltSizeMB())
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

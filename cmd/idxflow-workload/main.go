@@ -1,0 +1,109 @@
+// Command idxflow-workload inspects the synthetic workload generator: it
+// prints the file database, per-application dataflow statistics (Table 4),
+// and optionally a generated dataflow graph in Graphviz dot format.
+//
+// Usage:
+//
+//	idxflow-workload [-seed 1] [-app montage] [-dot] [-flows 5] [-export dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"idxflow/internal/dataflow"
+	"idxflow/internal/flowlang"
+	"idxflow/internal/workload"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		app    = flag.String("app", "", "dump one app (montage | ligo | cybershake); empty = stats for all")
+		dot    = flag.Bool("dot", false, "print the dataflow graph in dot format (requires -app)")
+		flows  = flag.Int("flows", 5, "flows to sample for statistics")
+		export = flag.String("export", "", "write the sampled flows as flowlang files into this directory")
+	)
+	flag.Parse()
+
+	db, err := workload.NewFileDB(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := workload.NewGenerator(db, *seed+1)
+
+	apps := workload.Apps
+	if *app != "" {
+		found := false
+		for _, a := range workload.Apps {
+			if a.String() == *app {
+				apps = []workload.App{a}
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+			os.Exit(2)
+		}
+	}
+
+	if *dot {
+		if len(apps) != 1 {
+			fmt.Fprintln(os.Stderr, "-dot requires -app")
+			os.Exit(2)
+		}
+		f := gen.Flow(apps[0], 0, 0)
+		fmt.Print(f.Graph.DOT(f.Name))
+		return
+	}
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n := 0
+		for _, a := range apps {
+			for i := 0; i < *flows; i++ {
+				f := gen.Flow(a, i, 0)
+				path := filepath.Join(*export, f.Name+".flow")
+				if err := os.WriteFile(path, []byte(flowlang.Marshal(f)), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				n++
+			}
+		}
+		fmt.Printf("wrote %d flowlang files to %s\n", n, *export)
+		return
+	}
+
+	fmt.Printf("file database: %d files, %.2f GB, %d partitions, %d potential indexes\n\n",
+		len(db.Files), db.TotalMB()/1024, db.TotalPartitions(), len(db.Catalog.IndexNames()))
+
+	for _, a := range apps {
+		sample := sampleFlows(gen, a, *flows)
+		st := workload.MeasuredStats(db, sample)
+		want := workload.Table4(a)
+		fmt.Printf("%s: %d flows sampled\n", a, len(sample))
+		fmt.Printf("  ops/flow:   %d (paper %d)\n", st.Ops, want.Ops)
+		fmt.Printf("  runtime s:  min %.2f max %.2f mean %.2f stdev %.2f (paper %.2f/%.2f/%.2f/%.2f)\n",
+			st.MinT, st.MaxT, st.MeanT, st.StdevT, want.MinT, want.MaxT, want.MeanT, want.StdevT)
+		fmt.Printf("  files:      %d, MB min %.2f max %.2f mean %.2f (paper %d, %.2f/%.2f/%.2f)\n",
+			st.Files, st.MinMB, st.MaxMB, st.MeanMB, want.Files, want.MinMB, want.MaxMB, want.MeanMB)
+		f0 := sample[0]
+		fmt.Printf("  example:    %s uses %d inputs, %d potential indexes, critical path %.0f s\n\n",
+			f0.Name, len(f0.Inputs), len(f0.Indexes), f0.Graph.CriticalPath())
+	}
+}
+
+func sampleFlows(gen *workload.Generator, a workload.App, n int) []*dataflow.Flow {
+	out := make([]*dataflow.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, gen.Flow(a, i, 0))
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package idxflow is a reproduction of "Automated Management of Indexes for
+// Dataflow Processing Engines in IaaS Clouds" (Kllapi, Pietri, Kantere,
+// Ioannidis — EDBT 2020): an online auto-tuner that builds and deletes
+// indexes inside the idle slots of dataflow execution schedules on
+// quantum-priced cloud containers, so indexes are created without
+// increasing the time or money a dataflow costs.
+//
+// The implementation lives under internal/ (see DESIGN.md for the map);
+// runnable entry points are the commands under cmd/ and the programs under
+// examples/. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
+package idxflow

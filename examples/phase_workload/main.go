@@ -1,0 +1,55 @@
+// Phase workload: run the full QaaS service with the online auto-tuner on a
+// workload that changes character over time (CyberShake -> LIGO -> Montage
+// -> CyberShake), and watch the index set adapt — the §6.5.1 experiment at
+// a laptop-friendly scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idxflow/internal/core"
+	"idxflow/internal/workload"
+)
+
+func main() {
+	const horizon = 240 * 60 // 240 quanta: a third of the paper's run
+
+	for _, strat := range []core.Strategy{core.NoIndex, core.Gain} {
+		db, err := workload.NewFileDB(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := workload.NewGenerator(db, 2)
+		phases := []workload.Phase{
+			{App: workload.Cybershake, Seconds: 4000},
+			{App: workload.Ligo, Seconds: 2000},
+			{App: workload.Montage, Seconds: 6000},
+			{App: workload.Cybershake, Seconds: 2400},
+		}
+		flows := gen.PhaseWorkload(phases, 60)
+
+		cfg := core.DefaultConfig()
+		cfg.Strategy = strat
+		cfg.Sched.MaxSkyline = 4
+		svc := core.NewService(cfg, db)
+		m := svc.Run(flows, horizon)
+
+		fmt.Printf("strategy %-9s: %3d dataflows finished, $%.2f/dataflow (VM $%.2f + storage $%.4f), mean makespan %.0fs\n",
+			strat, m.FlowsFinished, m.CostPerFlow, m.VMCost, m.StorageCost, m.MeanMakespan)
+
+		if strat == core.Gain {
+			fmt.Println("\nindex set over time (Fig 13 shape):")
+			step := len(m.Timeline)/12 + 1
+			for i := 0; i < len(m.Timeline); i += step {
+				tp := m.Timeline[i]
+				bar := ""
+				for j := 0; j < tp.IndexesBuilt && j < 60; j++ {
+					bar += "#"
+				}
+				fmt.Printf("  t=%5.0fq  %3d indexes  %7.1f MB  %s\n",
+					tp.T/60, tp.IndexesBuilt, tp.StorageMB, bar)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// TPC-H speedup: build a real B+Tree over a synthetic lineitem table and
+// measure the four query speedups of the paper's Table 6 — order-by, large
+// and small range selects, and point lookup — plus the analytic index sizes
+// of Table 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"idxflow/internal/bptree"
+	"idxflow/internal/data"
+	"idxflow/internal/exec"
+	"idxflow/internal/tpch"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "TPC-H scale factor (paper uses 2 = ~12M rows)")
+	flag.Parse()
+
+	fmt.Printf("generating lineitem at scale %g...\n", *scale)
+	rows := tpch.Generate(*scale, 42)
+	fmt.Printf("%d rows\n\n", len(rows))
+
+	start := time.Now()
+	tree, err := exec.BuildBTree(rows, exec.OrderKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded B+Tree on orderkey in %v (height %d, ~%.1f MB)\n\n",
+		time.Since(start).Round(time.Millisecond), tree.Height(),
+		float64(tree.ApproxSizeBytes())/1e6)
+
+	maxKey := rows[len(rows)-1].OrderKey
+	bench := func(name string, noIdx, withIdx func()) {
+		t0 := time.Now()
+		noIdx()
+		a := time.Since(t0)
+		t1 := time.Now()
+		withIdx()
+		b := time.Since(t1)
+		fmt.Printf("%-22s no-index %10v   index %10v   speedup %7.1fx\n",
+			name, a.Round(time.Microsecond), b.Round(time.Microsecond),
+			float64(a)/float64(b))
+	}
+
+	bench("order by",
+		func() { exec.ScanOrderBy(rows, exec.OrderKey) },
+		func() { exec.IndexOrderBy(tree) })
+	bench("select range (large)",
+		func() { exec.ScanRange(rows, exec.OrderKey, maxKey/6, maxKey/3) },
+		func() { exec.IndexRange(tree, maxKey/6, maxKey/3) })
+	bench("select range (small)",
+		func() { exec.ScanRange(rows, exec.OrderKey, maxKey/150, maxKey/150+maxKey/600+1) },
+		func() { exec.IndexRange(tree, maxKey/150, maxKey/150+maxKey/600+1) })
+	bench("lookup",
+		func() { exec.ScanLookup(rows, exec.OrderKey, maxKey*2/3) },
+		func() { exec.IndexLookup(tree, maxKey*2/3) })
+
+	// A hash index gives O(1) lookups (§1 of the paper).
+	hash := exec.BuildHash(rows, exec.OrderKey)
+	t0 := time.Now()
+	hash.Lookup(maxKey * 2 / 3)
+	fmt.Printf("%-22s hash index %v\n\n", "lookup", time.Since(t0))
+
+	// Analytic index sizes (Table 5) at the paper's scale 2.
+	tab := tpch.TableDescriptor(2, 128)
+	fmt.Printf("analytic index sizes at scale 2 (table %.2f GB):\n", tab.SizeMB()/1024)
+	for _, col := range []string{"comment", "shipinstruct", "commitdate", "orderkey"} {
+		idx, err := data.NewIndex(tab, col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %8.2f MB  (%5.2f%% of table)\n",
+			col, idx.SizeMB(), idx.SizeMB()/tab.SizeMB()*100)
+	}
+	_ = bptree.DefaultOrder
+}

@@ -1,0 +1,3 @@
+module idxflow
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package advisor implements a simple what-if index advisor. The paper
+// treats index recommendation as an orthogonal problem (§1: "most index
+// advisors can output a set of indexes that might be useful (e.g., by doing
+// a what-if analysis). This would be the input to our system"); this
+// package provides that input: it inspects a dataflow's operators, matches
+// the partitions they read to catalog tables, and estimates per-operator
+// speedups from the §1 operator-category complexities.
+package advisor
+
+import (
+	"math"
+	"sort"
+
+	"idxflow/internal/data"
+	"idxflow/internal/dataflow"
+)
+
+// Candidate is one recommended index with its per-operator speedups and an
+// aggregate what-if gain estimate.
+type Candidate struct {
+	// Index is the recommended index descriptor (registered or not).
+	Index *data.Index
+	// Use carries the per-operator speedups, ready to attach to a
+	// dataflow.Flow.
+	Use dataflow.IndexUse
+	// SavedSeconds is the estimated serial operator time the index saves
+	// on this flow.
+	SavedSeconds float64
+}
+
+// Options tunes the advisor.
+type Options struct {
+	// MaxPerFlow caps the candidates returned (top by estimated gain).
+	// Zero means 8.
+	MaxPerFlow int
+	// RangeSelectivity is the assumed fraction of rows a range select
+	// returns when nothing better is known. Zero means 1%.
+	RangeSelectivity float64
+	// Selectivity, when non-nil, estimates the range-select selectivity
+	// per table — typically backed by a stats.Histogram over the hot
+	// column — and overrides RangeSelectivity for that table. Results
+	// outside (0, 1] fall back to RangeSelectivity.
+	Selectivity func(t *data.Table) float64
+}
+
+// Advise analyzes the flow against the catalog and returns recommended
+// indexes sorted by descending estimated gain. Only operators that read
+// partitions are considered; each reading operator contributes a speedup
+// on the tables it touches, and all single-column indexes of those tables
+// are proposed with that speedup.
+func Advise(flow *dataflow.Flow, cat *data.Catalog, opts Options) []Candidate {
+	if opts.MaxPerFlow <= 0 {
+		opts.MaxPerFlow = 8
+	}
+	if opts.RangeSelectivity <= 0 {
+		opts.RangeSelectivity = 0.01
+	}
+
+	type agg struct {
+		idx   *data.Index
+		use   dataflow.IndexUse
+		saved float64
+	}
+	byName := make(map[string]*agg)
+
+	for _, id := range flow.Graph.Ops() {
+		op := flow.Graph.Op(id)
+		if op.Optional || len(op.Reads) == 0 {
+			continue
+		}
+		// Tables this operator touches.
+		tables := make(map[*data.Table]bool)
+		for _, path := range op.Reads {
+			if t, _, ok := cat.FindPartition(path); ok {
+				tables[t] = true
+			}
+		}
+		for t := range tables {
+			sel := opts.RangeSelectivity
+			if opts.Selectivity != nil {
+				if v := opts.Selectivity(t); v > 0 && v <= 1 {
+					sel = v
+				}
+			}
+			s := speedupFor(op.Kind, float64(t.NumRecords()), sel)
+			if s <= 1 {
+				continue
+			}
+			for _, col := range t.ColumnNames() {
+				idx, err := data.NewIndex(t, col)
+				if err != nil {
+					continue
+				}
+				name := idx.Name()
+				a := byName[name]
+				if a == nil {
+					a = &agg{idx: idx, use: dataflow.IndexUse{
+						Index:   name,
+						Speedup: make(map[dataflow.OpID]float64),
+					}}
+					byName[name] = a
+				}
+				if s > a.use.Speedup[id] {
+					a.use.Speedup[id] = s
+					a.saved += op.Time * (1 - 1/s)
+				}
+			}
+		}
+	}
+
+	out := make([]Candidate, 0, len(byName))
+	for _, a := range byName {
+		out = append(out, Candidate{Index: a.idx, Use: a.use, SavedSeconds: a.saved})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SavedSeconds != out[j].SavedSeconds {
+			return out[i].SavedSeconds > out[j].SavedSeconds
+		}
+		return out[i].Use.Index < out[j].Use.Index
+	})
+	if len(out) > opts.MaxPerFlow {
+		out = out[:opts.MaxPerFlow]
+	}
+	return out
+}
+
+// speedupFor estimates the index speedup for one operator category on a
+// table of n records, from the complexities of §1:
+//
+//	lookup:  O(n)       -> O(log n)      ~ n / log2 n
+//	range:   O(n)       -> O(log n + k)  ~ n / (log2 n + k), k = sel*n
+//	sort:    O(n log n) -> O(n)          ~ log2 n
+//	group:   via sorting                 ~ log2 n
+//	join:    nested/sort -> merge on sorted inputs ~ log2 n
+//
+// Other categories get no speedup. Estimates are capped at the paper's
+// measured lookup speedup (Table 6) to stay in a realistic band.
+func speedupFor(kind dataflow.Kind, n, rangeSel float64) float64 {
+	if n < 4 {
+		return 1
+	}
+	log := math.Log2(n)
+	var s float64
+	switch kind {
+	case dataflow.KindLookup:
+		s = n / log
+	case dataflow.KindRangeSelect:
+		s = n / (log + rangeSel*n)
+	case dataflow.KindSort, dataflow.KindGroup, dataflow.KindJoin:
+		s = log
+	default:
+		return 1
+	}
+	const maxSpeedup = 627.14 // Table 6 lookup speedup
+	if s > maxSpeedup {
+		s = maxSpeedup
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package advisor
+
+import (
+	"testing"
+
+	"idxflow/internal/data"
+	"idxflow/internal/dataflow"
+)
+
+func fixture(t *testing.T) (*data.Catalog, *data.Table) {
+	t.Helper()
+	cat := data.NewCatalog()
+	tab := data.NewTable("events",
+		data.Column{Name: "id", Type: "integer", AvgSize: 8},
+		data.Column{Name: "ts", Type: "date", AvgSize: 8},
+	)
+	tab.AddPartition(1_000_000, "")
+	tab.AddPartition(1_000_000, "")
+	if err := cat.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	return cat, tab
+}
+
+func flowReading(kind dataflow.Kind, reads ...string) (*dataflow.Flow, dataflow.OpID) {
+	g := dataflow.New()
+	id := g.Add(dataflow.Operator{Name: "reader", Kind: kind, Time: 100, Reads: reads})
+	return &dataflow.Flow{Name: "f", Graph: g}, id
+}
+
+func TestAdviseLookup(t *testing.T) {
+	cat, tab := fixture(t)
+	flow, op := flowReading(dataflow.KindLookup, tab.Partitions[0].Path)
+	cands := Advise(flow, cat, Options{})
+	if len(cands) != 2 { // one candidate per column
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	for _, c := range cands {
+		s := c.Use.Speedup[op]
+		if s <= 1 {
+			t.Errorf("%s speedup = %g, want > 1", c.Use.Index, s)
+		}
+		if s > 627.14+1e-9 {
+			t.Errorf("%s speedup = %g above the Table 6 cap", c.Use.Index, s)
+		}
+		if c.SavedSeconds <= 0 {
+			t.Errorf("%s saved = %g", c.Use.Index, c.SavedSeconds)
+		}
+	}
+}
+
+func TestAdviseKindsOrdering(t *testing.T) {
+	cat, tab := fixture(t)
+	speedupOf := func(kind dataflow.Kind) float64 {
+		flow, op := flowReading(kind, tab.Partitions[0].Path)
+		cands := Advise(flow, cat, Options{})
+		if len(cands) == 0 {
+			return 1
+		}
+		return cands[0].Use.Speedup[op]
+	}
+	lookup := speedupOf(dataflow.KindLookup)
+	rng := speedupOf(dataflow.KindRangeSelect)
+	sortS := speedupOf(dataflow.KindSort)
+	if !(lookup > rng && rng > sortS && sortS > 1) {
+		t.Errorf("speedup ordering broken: lookup=%g range=%g sort=%g", lookup, rng, sortS)
+	}
+}
+
+func TestAdviseIgnoresNonReaders(t *testing.T) {
+	cat, _ := fixture(t)
+	g := dataflow.New()
+	g.Add(dataflow.Operator{Name: "cpu", Kind: dataflow.KindProcess, Time: 100})
+	flow := &dataflow.Flow{Graph: g}
+	if cands := Advise(flow, cat, Options{}); len(cands) != 0 {
+		t.Errorf("candidates for a non-reading flow: %v", cands)
+	}
+	// Process ops that do read still get no speedup (no category match).
+	flow2, _ := flowReading(dataflow.KindProcess, cat.Table("events").Partitions[0].Path)
+	if cands := Advise(flow2, cat, Options{}); len(cands) != 0 {
+		t.Errorf("candidates for a process op: %v", cands)
+	}
+}
+
+func TestAdviseUnknownPaths(t *testing.T) {
+	cat, _ := fixture(t)
+	flow, _ := flowReading(dataflow.KindLookup, "nowhere/0")
+	if cands := Advise(flow, cat, Options{}); len(cands) != 0 {
+		t.Errorf("candidates for unknown path: %v", cands)
+	}
+}
+
+func TestAdviseCapsCandidates(t *testing.T) {
+	cat := data.NewCatalog()
+	tab := data.NewTable("wide",
+		data.Column{Name: "a", AvgSize: 4}, data.Column{Name: "b", AvgSize: 4},
+		data.Column{Name: "c", AvgSize: 4}, data.Column{Name: "d", AvgSize: 4},
+		data.Column{Name: "e", AvgSize: 4},
+	)
+	tab.AddPartition(100_000, "")
+	if err := cat.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	flow, _ := flowReading(dataflow.KindLookup, tab.Partitions[0].Path)
+	cands := Advise(flow, cat, Options{MaxPerFlow: 3})
+	if len(cands) != 3 {
+		t.Errorf("candidates = %d, want capped at 3", len(cands))
+	}
+}
+
+func TestAdviseSortedByGain(t *testing.T) {
+	cat, tab := fixture(t)
+	g := dataflow.New()
+	g.Add(dataflow.Operator{Name: "lookup", Kind: dataflow.KindLookup, Time: 100, Reads: []string{tab.Partitions[0].Path}})
+	g.Add(dataflow.Operator{Name: "sort", Kind: dataflow.KindSort, Time: 100, Reads: []string{tab.Partitions[1].Path}})
+	flow := &dataflow.Flow{Graph: g}
+	cands := Advise(flow, cat, Options{})
+	for i := 1; i < len(cands); i++ {
+		if cands[i].SavedSeconds > cands[i-1].SavedSeconds+1e-9 {
+			t.Errorf("candidates not sorted by gain at %d", i)
+		}
+	}
+}
+
+// TestAdviseWithHistogramSelectivity: a histogram-backed selectivity
+// changes the range-select speedup estimate — tighter ranges, bigger
+// speedups.
+func TestAdviseWithHistogramSelectivity(t *testing.T) {
+	cat, tab := fixture(t)
+	speedupAt := func(sel float64) float64 {
+		flow, op := flowReading(dataflow.KindRangeSelect, tab.Partitions[0].Path)
+		cands := Advise(flow, cat, Options{
+			Selectivity: func(*data.Table) float64 { return sel },
+		})
+		if len(cands) == 0 {
+			t.Fatal("no candidates")
+		}
+		return cands[0].Use.Speedup[op]
+	}
+	tight := speedupAt(0.0001)
+	wide := speedupAt(0.2)
+	if tight <= wide {
+		t.Errorf("tight selectivity speedup %g <= wide %g", tight, wide)
+	}
+	// Out-of-range estimates fall back to the default.
+	fallback := speedupAt(7.5)
+	def := speedupAt(0.01)
+	if fallback != def {
+		t.Errorf("fallback %g != default %g", fallback, def)
+	}
+}

@@ -1,0 +1,78 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchPairs(n int) []Pair {
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Key: rng.Int63n(int64(n)), Val: int64(i)}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return pairs
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int63(), int64(i))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	pairs := benchPairs(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(DefaultOrder, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr, err := BulkLoad(DefaultOrder, benchPairs(100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Int63n(100_000))
+	}
+}
+
+func BenchmarkRange1k(b *testing.B) {
+	tr, err := BulkLoad(DefaultOrder, benchPairs(100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Range(1000, 2000, func(k, v int64) bool {
+			n++
+			return true
+		})
+	}
+}
+
+func BenchmarkScan100k(b *testing.B) {
+	tr, err := BulkLoad(DefaultOrder, benchPairs(100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(func(k, v int64) bool {
+			n++
+			return true
+		})
+	}
+}

@@ -1,0 +1,398 @@
+// Package bptree implements an in-memory B+Tree with int64 keys and values,
+// supporting bulk loading, insertion, point lookups and sorted range scans.
+// It is the physical index structure behind the query-executor substrate
+// used to measure the index speedups of Table 6 of the paper.
+//
+// Duplicate keys are supported. To keep lookups and range scans exact, a
+// run of equal keys is never split across two leaves; leaf splits shift the
+// split point to a key boundary (and, in the degenerate case of a leaf
+// holding a single key value, the leaf is allowed to grow past the nominal
+// order).
+package bptree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node, sized so a
+// node of 16-byte entries roughly fills a 4 KB disk block.
+const DefaultOrder = 256
+
+// Pair is a key/value entry.
+type Pair struct {
+	Key, Val int64
+}
+
+type node struct {
+	leaf     bool
+	keys     []int64
+	children []*node // internal nodes only
+	vals     []int64 // leaf nodes only
+	next     *node   // leaf chain
+}
+
+// Tree is a B+Tree. The zero value is not usable; call New or BulkLoad.
+type Tree struct {
+	root  *node
+	order int // max keys per node (nominal)
+	size  int
+}
+
+// New returns an empty tree. Orders below 4 are raised to 4.
+func New(order int) *Tree {
+	if order < 4 {
+		order = 4
+	}
+	return &Tree{root: &node{leaf: true}, order: order}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Order returns the nominal maximum keys per node.
+func (t *Tree) Order() int { return t.order }
+
+// Height returns the number of levels (1 for a lone leaf root).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+// findLeaf descends to the leaf that contains key (equal separators send
+// the search right, and splits never divide equal-key runs, so the leaf is
+// unique).
+func (t *Tree) findLeaf(key int64) *node {
+	n := t.root
+	for !n.leaf {
+		pos := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n = n.children[pos]
+	}
+	return n
+}
+
+// Get returns the value of the first entry with the given key.
+func (t *Tree) Get(key int64) (int64, bool) {
+	n := t.findLeaf(key)
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if pos < len(n.keys) && n.keys[pos] == key {
+		return n.vals[pos], true
+	}
+	return 0, false
+}
+
+// GetAll returns the values of every entry with the given key, in insertion
+// order within the key run.
+func (t *Tree) GetAll(key int64) []int64 {
+	var out []int64
+	n := t.findLeaf(key)
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	for pos < len(n.keys) && n.keys[pos] == key {
+		out = append(out, n.vals[pos])
+		pos++
+	}
+	return out
+}
+
+// Range calls visit for every entry with lo <= key < hi, in key order.
+// Iteration stops early if visit returns false.
+func (t *Tree) Range(lo, hi int64, visit func(key, val int64) bool) {
+	if hi <= lo {
+		return
+	}
+	n := t.findLeaf(lo)
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	for n != nil {
+		for ; pos < len(n.keys); pos++ {
+			if n.keys[pos] >= hi {
+				return
+			}
+			if !visit(n.keys[pos], n.vals[pos]) {
+				return
+			}
+		}
+		n = n.next
+		pos = 0
+	}
+}
+
+// Scan calls visit for every entry in key order (the sorted-leaves property
+// that makes order-by and group-by O(n), §1 of the paper).
+func (t *Tree) Scan(visit func(key, val int64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for i := range n.keys {
+			if !visit(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Insert adds an entry. Duplicate keys are allowed; the new entry is placed
+// after existing entries with the same key.
+func (t *Tree) Insert(key, val int64) {
+	sep, right := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &node{
+			keys:     []int64{sep},
+			children: []*node{t.root, right},
+		}
+	}
+	t.size++
+}
+
+// insert adds the entry under n and returns a separator and new right
+// sibling if n split.
+func (t *Tree) insert(n *node, key, val int64) (int64, *node) {
+	if n.leaf {
+		// Place after the last equal key.
+		pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[pos+1:], n.keys[pos:])
+		n.keys[pos] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[pos+1:], n.vals[pos:])
+		n.vals[pos] = val
+		if len(n.keys) <= t.order {
+			return 0, nil
+		}
+		return t.splitLeaf(n)
+	}
+	pos := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	sep, right := t.insert(n.children[pos], key, val)
+	if right == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[pos+1:], n.keys[pos:])
+	n.keys[pos] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[pos+2:], n.children[pos+1:])
+	n.children[pos+1] = right
+	if len(n.keys) <= t.order {
+		return 0, nil
+	}
+	return t.splitInternal(n)
+}
+
+// splitLeaf splits n at a key boundary near the middle so that no run of
+// equal keys crosses leaves. If the leaf holds a single key value, it is
+// left oversized and no split happens.
+func (t *Tree) splitLeaf(n *node) (int64, *node) {
+	mid := len(n.keys) / 2
+	cut := -1
+	// Search outward from mid for a boundary where keys differ.
+	for d := 0; d < len(n.keys); d++ {
+		if i := mid - d; i >= 1 && n.keys[i] != n.keys[i-1] {
+			cut = i
+			break
+		}
+		if i := mid + d; i >= 1 && i < len(n.keys) && n.keys[i] != n.keys[i-1] {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return 0, nil // all keys equal: grow oversized
+	}
+	right := &node{
+		leaf: true,
+		keys: append([]int64(nil), n.keys[cut:]...),
+		vals: append([]int64(nil), n.vals[cut:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:cut:cut]
+	n.vals = n.vals[:cut:cut]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *Tree) splitInternal(n *node) (int64, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// BulkLoad builds a tree from entries sorted by key (ties in any order) in
+// O(n). It returns an error if the entries are not sorted.
+func BulkLoad(order int, pairs []Pair) (*Tree, error) {
+	if order < 4 {
+		order = 4
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key < pairs[i-1].Key {
+			return nil, fmt.Errorf("bptree: BulkLoad input not sorted at %d", i)
+		}
+	}
+	t := &Tree{order: order, size: len(pairs)}
+	if len(pairs) == 0 {
+		t.root = &node{leaf: true}
+		return t, nil
+	}
+
+	// Build leaves in chunks of ~order entries, extending each chunk so a
+	// key run never crosses a boundary.
+	var leaves []*node
+	for i := 0; i < len(pairs); {
+		end := i + order
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		for end < len(pairs) && pairs[end].Key == pairs[end-1].Key {
+			end++
+		}
+		leaf := &node{leaf: true}
+		for _, p := range pairs[i:end] {
+			leaf.keys = append(leaf.keys, p.Key)
+			leaf.vals = append(leaf.vals, p.Val)
+		}
+		leaves = append(leaves, leaf)
+		i = end
+	}
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+
+	// Build internal levels bottom-up.
+	level := leaves
+	for len(level) > 1 {
+		var parents []*node
+		for i := 0; i < len(level); {
+			end := i + order + 1 // children per parent
+			if end > len(level) {
+				end = len(level)
+			}
+			// Avoid leaving a lone child in the last parent.
+			if rem := len(level) - end; rem == 1 {
+				end--
+			}
+			p := &node{}
+			for j := i; j < end; j++ {
+				p.children = append(p.children, level[j])
+				if j > i {
+					p.keys = append(p.keys, minKey(level[j]))
+				}
+			}
+			parents = append(parents, p)
+			i = end
+		}
+		level = parents
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func minKey(n *node) int64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// ApproxSizeBytes estimates the memory footprint: 16 bytes per entry plus
+// internal-node overhead.
+func (t *Tree) ApproxSizeBytes() int64 {
+	var walk func(n *node) int64
+	walk = func(n *node) int64 {
+		sz := int64(len(n.keys)) * 8
+		if n.leaf {
+			return sz + int64(len(n.vals))*8
+		}
+		sz += int64(len(n.children)) * 8
+		for _, c := range n.children {
+			sz += walk(c)
+		}
+		return sz
+	}
+	return walk(t.root)
+}
+
+// Validate checks the structural invariants: keys sorted within nodes,
+// uniform leaf depth, leaf chain globally sorted, separators bounding their
+// subtrees, and no key run crossing leaves. Intended for tests.
+func (t *Tree) Validate() error {
+	depth := -1
+	var prevLeaf *node
+	var count int
+	var check func(n *node, d int, lo, hi *int64) error
+	check = func(n *node, d int, lo, hi *int64) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i] < n.keys[i-1] {
+				return fmt.Errorf("bptree: unsorted keys at depth %d", d)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k < *lo {
+				return fmt.Errorf("bptree: key %d below separator %d", k, *lo)
+			}
+			if hi != nil && k >= *hi && n.leaf {
+				return fmt.Errorf("bptree: leaf key %d not below separator %d", k, *hi)
+			}
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				return errors.New("bptree: leaves at different depths")
+			}
+			if len(n.keys) != len(n.vals) {
+				return errors.New("bptree: leaf keys/vals length mismatch")
+			}
+			count += len(n.keys)
+			if prevLeaf != nil {
+				if prevLeaf.next != n {
+					return errors.New("bptree: broken leaf chain")
+				}
+				if len(prevLeaf.keys) > 0 && len(n.keys) > 0 &&
+					prevLeaf.keys[len(prevLeaf.keys)-1] >= n.keys[0] {
+					return errors.New("bptree: key run crosses leaves or chain unsorted")
+				}
+			}
+			prevLeaf = n
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("bptree: internal node with %d keys, %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			var clo, chi *int64
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := check(c, d+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(t.root, 0, nil, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("bptree: size %d but %d entries found", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("Get on empty tree found a value")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	calls := 0
+	tr.Range(0, 100, func(int64, int64) bool { calls++; return true })
+	if calls != 0 {
+		t.Errorf("Range on empty tree visited %d", calls)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i*2, i)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d, want 100", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := tr.Get(i * 2)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", i*2, v, ok, i)
+		}
+		if _, ok := tr.Get(i*2 + 1); ok {
+			t.Fatalf("Get(%d) found a value for a missing key", i*2+1)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d for 100 keys order 4, want >= 3", tr.Height())
+	}
+}
+
+func TestInsertReverseAndRandomOrder(t *testing.T) {
+	for name, keys := range map[string][]int64{
+		"reverse": {9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		"random":  {5, 2, 8, 1, 9, 3, 7, 0, 6, 4},
+	} {
+		tr := New(4)
+		for _, k := range keys {
+			tr.Insert(k, k*10)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", name, err)
+		}
+		for _, k := range keys {
+			if v, ok := tr.Get(k); !ok || v != k*10 {
+				t.Errorf("%s: Get(%d) = %d,%v", name, k, v, ok)
+			}
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(4)
+	// Insert enough duplicates to force splits around runs.
+	for i := int64(0); i < 20; i++ {
+		tr.Insert(i%5, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for k := int64(0); k < 5; k++ {
+		vals := tr.GetAll(k)
+		if len(vals) != 4 {
+			t.Errorf("GetAll(%d) = %v, want 4 values", k, vals)
+		}
+	}
+	if vals := tr.GetAll(99); len(vals) != 0 {
+		t.Errorf("GetAll(99) = %v, want empty", vals)
+	}
+}
+
+func TestAllKeysEqualOversizedLeaf(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(7, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(tr.GetAll(7)); got != 50 {
+		t.Errorf("GetAll(7) returned %d values, want 50", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New(8)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	var got []int64
+	tr.Range(10, 20, func(k, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("Range(10,20) = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 100, func(k, v int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early-stop Range visited %d, want 5", count)
+	}
+	// Empty interval.
+	tr.Range(20, 10, func(k, v int64) bool {
+		t.Error("Range(20,10) visited an entry")
+		return false
+	})
+}
+
+func TestScanIsSorted(t *testing.T) {
+	tr := New(6)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tr.Insert(rng.Int63n(200), int64(i))
+	}
+	var prev int64 = -1
+	n := 0
+	tr.Scan(func(k, v int64) bool {
+		if k < prev {
+			t.Fatalf("Scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 500 {
+		t.Errorf("Scan visited %d, want 500", n)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	pairs := make([]Pair, 1000)
+	for i := range pairs {
+		pairs[i] = Pair{Key: int64(i / 3), Val: int64(i)} // duplicates
+	}
+	tr, err := BulkLoad(16, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for k := int64(0); k < 333; k++ {
+		if got := len(tr.GetAll(k)); got != 3 {
+			t.Errorf("GetAll(%d) returned %d values, want 3", k, got)
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	if _, err := BulkLoad(8, []Pair{{2, 0}, {1, 0}}); err == nil {
+		t.Error("unsorted BulkLoad accepted")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestApproxSizeBytes(t *testing.T) {
+	tr := New(8)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	sz := tr.ApproxSizeBytes()
+	if sz < 100*16 {
+		t.Errorf("ApproxSizeBytes = %d, want >= %d", sz, 100*16)
+	}
+}
+
+// TestAgainstReferenceProperty compares tree behaviour with a sorted-slice
+// reference model under random workloads.
+func TestAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 4 + rng.Intn(12)
+		tr := New(order)
+		var ref []Pair
+		for i := 0; i < 400; i++ {
+			k := rng.Int63n(100)
+			v := int64(i)
+			tr.Insert(k, v)
+			ref = append(ref, Pair{k, v})
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Key < ref[j].Key })
+
+		// Range equivalence on random intervals.
+		for trial := 0; trial < 20; trial++ {
+			lo, hi := rng.Int63n(110), rng.Int63n(110)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			var want []int64
+			for _, p := range ref {
+				if p.Key >= lo && p.Key < hi {
+					want = append(want, p.Key)
+				}
+			}
+			var got []int64
+			tr.Range(lo, hi, func(k, v int64) bool {
+				got = append(got, k)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Logf("Range(%d,%d): got %d keys, want %d", lo, hi, len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+
+		// GetAll equivalence on every key value.
+		counts := make(map[int64]int)
+		for _, p := range ref {
+			counts[p.Key]++
+		}
+		for k := int64(0); k < 100; k++ {
+			if len(tr.GetAll(k)) != counts[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBulkLoadEquivalentToInsertProperty: a bulk-loaded tree answers
+// identically to an insert-built tree.
+func TestBulkLoadEquivalentToInsertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(800)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{Key: rng.Int63n(200), Val: int64(i)}
+		}
+		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+		bl, err := BulkLoad(8, pairs)
+		if err != nil {
+			return false
+		}
+		if err := bl.Validate(); err != nil {
+			t.Logf("bulk Validate: %v", err)
+			return false
+		}
+		ins := New(8)
+		for _, p := range pairs {
+			ins.Insert(p.Key, p.Val)
+		}
+		for k := int64(0); k < 200; k++ {
+			if len(bl.GetAll(k)) != len(ins.GetAll(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzTreeAgainstMap drives the tree with fuzzer-chosen operations and
+// cross-checks against a map-of-slices reference model.
+func FuzzTreeAgainstMap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New(4)
+		ref := make(map[int64]int)
+		for i := 0; i+1 < len(ops); i += 2 {
+			k := int64(ops[i] % 32)
+			tr.Insert(k, int64(ops[i+1]))
+			ref[k]++
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		for k := int64(0); k < 32; k++ {
+			if got := len(tr.GetAll(k)); got != ref[k] {
+				t.Fatalf("GetAll(%d) = %d entries, want %d", k, got, ref[k])
+			}
+		}
+		total := 0
+		tr.Scan(func(int64, int64) bool { total++; return true })
+		if total != tr.Len() {
+			t.Fatalf("Scan visited %d, Len %d", total, tr.Len())
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package cloud
+
+import "container/list"
+
+// LRUCache models a container's local disk cache of table partitions and
+// indexes read from the storage service (§6.1: "If the container cache gets
+// full, LRU policy is used to create empty space"). Entries are keyed by
+// storage path and sized in MB.
+type LRUCache struct {
+	capacityMB float64
+	usedMB     float64
+	entries    map[string]*list.Element
+	order      *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	path   string
+	sizeMB float64
+}
+
+// NewLRUCache returns a cache holding up to capacityMB of data.
+func NewLRUCache(capacityMB float64) *LRUCache {
+	return &LRUCache{
+		capacityMB: capacityMB,
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+	}
+}
+
+// Contains reports whether path is cached, without touching recency.
+func (c *LRUCache) Contains(path string) bool {
+	_, ok := c.entries[path]
+	return ok
+}
+
+// Get reports whether path is cached and, if so, marks it most recently
+// used.
+func (c *LRUCache) Get(path string) bool {
+	el, ok := c.entries[path]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(el)
+	return true
+}
+
+// Put inserts path with the given size, evicting least-recently-used entries
+// as needed, and returns the evicted paths. An object larger than the whole
+// cache is not admitted (nothing useful could be kept); Put then returns nil
+// and the cache is unchanged. Re-putting an existing path refreshes its
+// recency and updates its size.
+func (c *LRUCache) Put(path string, sizeMB float64) []string {
+	if sizeMB > c.capacityMB {
+		return nil
+	}
+	if el, ok := c.entries[path]; ok {
+		e := el.Value.(*cacheEntry)
+		c.usedMB += sizeMB - e.sizeMB
+		e.sizeMB = sizeMB
+		c.order.MoveToFront(el)
+		return c.evictUntilFits()
+	}
+	c.usedMB += sizeMB
+	el := c.order.PushFront(&cacheEntry{path: path, sizeMB: sizeMB})
+	c.entries[path] = el
+	return c.evictUntilFits()
+}
+
+func (c *LRUCache) evictUntilFits() []string {
+	var evicted []string
+	for c.usedMB > c.capacityMB {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.path)
+		c.usedMB -= e.sizeMB
+		evicted = append(evicted, e.path)
+	}
+	return evicted
+}
+
+// Remove deletes path from the cache if present (used when an index or
+// partition version is invalidated) and reports whether it was cached.
+func (c *LRUCache) Remove(path string) bool {
+	el, ok := c.entries[path]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, path)
+	c.usedMB -= e.sizeMB
+	return true
+}
+
+// UsedMB returns the total size of cached entries.
+func (c *LRUCache) UsedMB() float64 { return c.usedMB }
+
+// CapacityMB returns the cache capacity.
+func (c *LRUCache) CapacityMB() float64 { return c.capacityMB }
+
+// Len returns the number of cached entries.
+func (c *LRUCache) Len() int { return len(c.entries) }
+
+// Clear empties the cache (a container's local disk is lost when the
+// container is deleted, §3).
+func (c *LRUCache) Clear() {
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.usedMB = 0
+}

@@ -1,0 +1,150 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := NewLRUCache(100)
+	if c.Get("a") {
+		t.Error("Get on empty cache = true")
+	}
+	c.Put("a", 10)
+	if !c.Get("a") {
+		t.Error("Get(a) after Put = false")
+	}
+	if c.UsedMB() != 10 {
+		t.Errorf("UsedMB = %g, want 10", c.UsedMB())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewLRUCache(30)
+	c.Put("a", 10)
+	c.Put("b", 10)
+	c.Put("c", 10)
+	// Touch a so b is the LRU.
+	c.Get("a")
+	evicted := c.Put("d", 10)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("evicted = %v, want [b]", evicted)
+	}
+	if !c.Contains("a") || !c.Contains("c") || !c.Contains("d") {
+		t.Error("expected a, c, d to remain cached")
+	}
+}
+
+func TestCacheRejectsOversized(t *testing.T) {
+	c := NewLRUCache(10)
+	c.Put("a", 5)
+	if ev := c.Put("big", 20); ev != nil {
+		t.Errorf("oversized Put evicted %v, want nil", ev)
+	}
+	if c.Contains("big") {
+		t.Error("oversized object admitted")
+	}
+	if !c.Contains("a") {
+		t.Error("oversized Put disturbed existing entry")
+	}
+}
+
+func TestCacheUpdateSize(t *testing.T) {
+	c := NewLRUCache(100)
+	c.Put("a", 10)
+	c.Put("a", 50)
+	if c.UsedMB() != 50 {
+		t.Errorf("UsedMB after resize = %g, want 50", c.UsedMB())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after resize = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := NewLRUCache(100)
+	c.Put("a", 10)
+	if !c.Remove("a") {
+		t.Error("Remove(a) = false")
+	}
+	if c.Remove("a") {
+		t.Error("second Remove(a) = true")
+	}
+	if c.UsedMB() != 0 {
+		t.Errorf("UsedMB after remove = %g, want 0", c.UsedMB())
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewLRUCache(100)
+	c.Put("a", 10)
+	c.Put("b", 20)
+	c.Clear()
+	if c.Len() != 0 || c.UsedMB() != 0 {
+		t.Errorf("after Clear: Len=%d Used=%g, want 0/0", c.Len(), c.UsedMB())
+	}
+	if c.Contains("a") {
+		t.Error("Contains(a) after Clear = true")
+	}
+}
+
+// TestCacheInvariantsProperty drives the cache with random operations and
+// checks that used size never exceeds capacity and always equals the sum of
+// resident entry sizes.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 50 + rng.Float64()*100
+		c := NewLRUCache(capacity)
+		resident := make(map[string]float64)
+		for i := 0; i < 200; i++ {
+			path := fmt.Sprintf("p%d", rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0:
+				size := rng.Float64() * 60
+				if size > capacity {
+					// Oversized put is a no-op.
+					c.Put(path, size)
+					break
+				}
+				resident[path] = size
+				for _, ev := range c.Put(path, size) {
+					delete(resident, ev)
+				}
+			case 1:
+				c.Get(path)
+			case 2:
+				c.Remove(path)
+				delete(resident, path)
+			}
+			if c.UsedMB() > capacity+1e-9 {
+				return false
+			}
+			var sum float64
+			n := 0
+			for p, sz := range resident {
+				if c.Contains(p) {
+					sum += sz
+					n++
+				} else {
+					delete(resident, p) // evicted
+				}
+			}
+			if diff := sum - c.UsedMB(); diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+			if n != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPricingMatchesTable3(t *testing.T) {
+	p := DefaultPricing()
+	if p.QuantumSeconds != 60 {
+		t.Errorf("QuantumSeconds = %g, want 60", p.QuantumSeconds)
+	}
+	if p.VMPerQuantum != 0.1 {
+		t.Errorf("VMPerQuantum = %g, want 0.1", p.VMPerQuantum)
+	}
+	if p.StoragePerMBQuantum != 1e-4 {
+		t.Errorf("StoragePerMBQuantum = %g, want 1e-4", p.StoragePerMBQuantum)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadPricing(t *testing.T) {
+	if err := (Pricing{QuantumSeconds: 0}).Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	if err := (Pricing{QuantumSeconds: 60, VMPerQuantum: -1}).Validate(); err == nil {
+		t.Error("negative VM price accepted")
+	}
+}
+
+func TestQuantaRoundsUp(t *testing.T) {
+	p := DefaultPricing()
+	cases := []struct {
+		seconds float64
+		want    int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {59.9, 1}, {60, 1}, {60.1, 2}, {120, 2}, {121, 3},
+	}
+	for _, c := range cases {
+		if got := p.Quanta(c.seconds); got != c.want {
+			t.Errorf("Quanta(%g) = %d, want %d", c.seconds, got, c.want)
+		}
+	}
+}
+
+func TestVMCost(t *testing.T) {
+	p := DefaultPricing()
+	if got := p.VMCost(90); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("VMCost(90s) = %g, want 0.2", got)
+	}
+	if got := p.VMCost(0); got != 0 {
+		t.Errorf("VMCost(0) = %g, want 0", got)
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	p := DefaultPricing()
+	// 100 MB for 2 quanta at 1e-4 $/MB/q = $0.02.
+	if got := p.StorageCost(100, 2); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("StorageCost(100,2) = %g, want 0.02", got)
+	}
+	if got := p.StorageCost(-1, 2); got != 0 {
+		t.Errorf("StorageCost(-1,2) = %g, want 0", got)
+	}
+}
+
+func TestStoragePerQuantumFromMonthly(t *testing.T) {
+	// $10/GB/month at a 60-second quantum, per §3's formula:
+	// (10 * 12 * 1 minute) / (365.25 * 24 * 60).
+	got := StoragePerQuantumFromMonthly(10, 60)
+	want := 10.0 * 12 * 1 / (365.25 * 24 * 60)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StoragePerQuantumFromMonthly = %g, want %g", got, want)
+	}
+}
+
+func TestQuantumBoundaries(t *testing.T) {
+	p := DefaultPricing()
+	if got := p.QuantumStart(0, 75); got != 60 {
+		t.Errorf("QuantumStart(0,75) = %g, want 60", got)
+	}
+	if got := p.QuantumEnd(0, 75); got != 120 {
+		t.Errorf("QuantumEnd(0,75) = %g, want 120", got)
+	}
+	// Lease started at 30: quanta are [30,90), [90,150), ...
+	if got := p.QuantumStart(30, 100); got != 90 {
+		t.Errorf("QuantumStart(30,100) = %g, want 90", got)
+	}
+	if got := p.QuantumStart(30, 10); got != 30 {
+		t.Errorf("QuantumStart(30,10) = %g, want clamp to lease start 30", got)
+	}
+}
+
+func TestQuantaProperty(t *testing.T) {
+	p := DefaultPricing()
+	f := func(s float64) bool {
+		s = math.Abs(s)
+		if math.IsInf(s, 0) || math.IsNaN(s) || s > 1e12 {
+			return true
+		}
+		q := p.Quanta(s)
+		// Covering property: q quanta cover s, q-1 do not.
+		if float64(q)*p.QuantumSeconds < s-1e-6 {
+			return false
+		}
+		if q > 0 && float64(q-1)*p.QuantumSeconds >= s+1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec()
+	if s.CPUs != 1 {
+		t.Errorf("CPUs = %d, want 1", s.CPUs)
+	}
+	if s.DiskMB != 100*1024 {
+		t.Errorf("DiskMB = %g, want 102400", s.DiskMB)
+	}
+	// 125 MB over 1 Gbps (125 MB/s) takes 1 s.
+	if got := s.TransferSeconds(125); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TransferSeconds(125) = %g, want 1", got)
+	}
+	// 250 MB at 250 MB/s takes 1 s.
+	if got := s.DiskSeconds(250); math.Abs(got-1) > 1e-9 {
+		t.Errorf("DiskSeconds(250) = %g, want 1", got)
+	}
+	if got := s.TransferSeconds(-1); got != 0 {
+		t.Errorf("TransferSeconds(-1) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,122 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Storage models the cloud storage service (§3): a flat namespace of files
+// charged per MB per quantum. It tracks bytes transferred in and out so the
+// simulator can charge storage "by counting the number of bytes transferred
+// and charging appropriately over time" (§6.1).
+type Storage struct {
+	files         map[string]float64 // path -> size MB
+	transferredMB float64
+	// costAccrued accumulates storage cost as Advance is called.
+	costAccrued float64
+	// lastQuantum is the quantum timestamp up to which cost was accrued.
+	lastQuantum float64
+	pricing     Pricing
+}
+
+// NewStorage returns an empty storage service billed under p.
+func NewStorage(p Pricing) *Storage {
+	return &Storage{files: make(map[string]float64), pricing: p}
+}
+
+// Put stores (or replaces) a file of the given size and counts the upload
+// as a transfer. Negative sizes are rejected.
+func (s *Storage) Put(path string, sizeMB float64) error {
+	if sizeMB < 0 {
+		return fmt.Errorf("cloud: negative file size %g for %q", sizeMB, path)
+	}
+	s.files[path] = sizeMB
+	s.transferredMB += sizeMB
+	return nil
+}
+
+// Get returns the size of path and whether it exists, counting the download
+// as a transfer when it does.
+func (s *Storage) Get(path string) (sizeMB float64, ok bool) {
+	sizeMB, ok = s.files[path]
+	if ok {
+		s.transferredMB += sizeMB
+	}
+	return sizeMB, ok
+}
+
+// Stat returns the size of path without counting a transfer.
+func (s *Storage) Stat(path string) (sizeMB float64, ok bool) {
+	sizeMB, ok = s.files[path]
+	return sizeMB, ok
+}
+
+// Delete removes path and reports whether it existed.
+func (s *Storage) Delete(path string) bool {
+	if _, ok := s.files[path]; !ok {
+		return false
+	}
+	delete(s.files, path)
+	return true
+}
+
+// TotalMB returns the total stored size.
+func (s *Storage) TotalMB() float64 {
+	var sum float64
+	for _, sz := range s.files {
+		sum += sz
+	}
+	return sum
+}
+
+// Len returns the number of stored files.
+func (s *Storage) Len() int { return len(s.files) }
+
+// Paths returns all stored paths in sorted order.
+func (s *Storage) Paths() []string {
+	paths := make([]string, 0, len(s.files))
+	for p := range s.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TransferredMB returns the cumulative MB moved in and out of the service.
+func (s *Storage) TransferredMB() float64 { return s.transferredMB }
+
+// Advance accrues storage cost from the last accounted time up to now
+// (seconds since service start) at the current stored size, and returns the
+// total accrued cost so far.
+func (s *Storage) Advance(nowSeconds float64) float64 {
+	if nowSeconds > s.lastQuantum {
+		quanta := (nowSeconds - s.lastQuantum) / s.pricing.QuantumSeconds
+		s.costAccrued += s.pricing.StorageCost(s.TotalMB(), quanta)
+		s.lastQuantum = nowSeconds
+	}
+	return s.costAccrued
+}
+
+// CostAccrued returns the storage cost accrued so far without advancing.
+func (s *Storage) CostAccrued() float64 { return s.costAccrued }
+
+// Files returns a copy of the stored path-to-size map, for serialization.
+func (s *Storage) Files() map[string]float64 {
+	out := make(map[string]float64, len(s.files))
+	for k, v := range s.files {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore overwrites the storage contents and accounting state with a
+// snapshot: the files, the cost accrued so far, and the time point (in
+// seconds) up to which that cost covers. No transfers are counted.
+func (s *Storage) Restore(files map[string]float64, costAccrued, upToSeconds float64) {
+	s.files = make(map[string]float64, len(files))
+	for k, v := range files {
+		s.files[k] = v
+	}
+	s.costAccrued = costAccrued
+	s.lastQuantum = upToSeconds
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"idxflow/internal/gain"
+)
+
+// Snapshot is the serializable state of a running service: everything the
+// tuner has learned (gain history, last-use times), the index build state,
+// and the accounting counters. Together with the deterministic file
+// database seed it lets a long-running QaaS service checkpoint and resume.
+//
+// Restore does not reproduce the random-number generator state, so runs
+// across a snapshot boundary are not bit-identical to uninterrupted runs;
+// they are behaviourally equivalent.
+type Snapshot struct {
+	ClockSeconds          float64                  `json:"clock_seconds"`
+	VMQuanta              float64                  `json:"vm_quanta"`
+	LastUpdateSeconds     float64                  `json:"last_update_seconds"`
+	InvalidatedPartitions int                      `json:"invalidated_partitions"`
+	LastUsed              map[string]float64       `json:"last_used"`
+	History               map[string][]gain.Record `json:"history"`
+	// Built maps index name to its built partitions.
+	Built map[string][]PartitionSnapshot `json:"built"`
+	// StorageFiles is the storage service contents (path -> MB).
+	StorageFiles map[string]float64 `json:"storage_files"`
+	StorageCost  float64            `json:"storage_cost"`
+}
+
+// PartitionSnapshot records one built index partition.
+type PartitionSnapshot struct {
+	ID      int     `json:"id"`
+	BuiltAt float64 `json:"built_at"`
+}
+
+// Snapshot captures the current service state.
+func (s *Service) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		ClockSeconds:          s.clock,
+		VMQuanta:              s.vmQ,
+		LastUpdateSeconds:     s.lastUpdate,
+		InvalidatedPartitions: s.InvalidatedPartitions,
+		LastUsed:              make(map[string]float64, len(s.lastUsed)),
+		History:               s.eval.History.All(),
+		Built:                 make(map[string][]PartitionSnapshot),
+		StorageFiles:          s.storage.Files(),
+		StorageCost:           s.storage.CostAccrued(),
+	}
+	for k, v := range s.lastUsed {
+		snap.LastUsed[k] = v
+	}
+	for _, name := range s.db.Catalog.IndexNames() {
+		st := s.db.Catalog.State(name)
+		var parts []PartitionSnapshot
+		for _, p := range st.Index.Table.Partitions {
+			if ps := st.Part(p.ID); ps.Built {
+				parts = append(parts, PartitionSnapshot{ID: p.ID, BuiltAt: ps.BuiltAt})
+			}
+		}
+		if len(parts) > 0 {
+			snap.Built[name] = parts
+		}
+	}
+	return snap
+}
+
+// RestoreSnapshot loads a snapshot into this service. The service must be
+// fresh (nothing submitted) and built over an identical file database —
+// same seed — or the index names will not resolve.
+func (s *Service) RestoreSnapshot(snap *Snapshot) error {
+	if s.clock != 0 || len(s.metrics.Results) != 0 {
+		return fmt.Errorf("core: RestoreSnapshot requires a fresh service")
+	}
+	for name, parts := range snap.Built {
+		st := s.db.Catalog.State(name)
+		if st == nil {
+			return fmt.Errorf("core: snapshot references unknown index %q (file database mismatch?)", name)
+		}
+		for _, p := range parts {
+			if err := st.MarkBuilt(p.ID, p.BuiltAt); err != nil {
+				return fmt.Errorf("core: restoring %s: %w", name, err)
+			}
+		}
+	}
+	s.clock = snap.ClockSeconds
+	s.vmQ = snap.VMQuanta
+	s.lastUpdate = snap.LastUpdateSeconds
+	s.InvalidatedPartitions = snap.InvalidatedPartitions
+	s.lastUsed = make(map[string]float64, len(snap.LastUsed))
+	for k, v := range snap.LastUsed {
+		s.lastUsed[k] = v
+	}
+	s.eval.History.Replace(snap.History)
+	s.storage.Restore(snap.StorageFiles, snap.StorageCost, snap.ClockSeconds)
+	return nil
+}
+
+// SaveSnapshot writes the service state to a JSON file.
+func (s *Service) SaveSnapshot(path string) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("core: parsing snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,275 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartState is the build state of one index partition.
+type PartState struct {
+	// Built reports whether the index partition currently exists.
+	Built bool
+	// BuiltAt is the creation time point in seconds (the T of
+	// idx(t, C, T)); meaningful only when Built.
+	BuiltAt float64
+	// Version is the table-partition version the index was built against.
+	Version int
+}
+
+// BuildState tracks which partitions of an index have been built and when.
+// Indexes are built incrementally: not all partitions need to exist for the
+// index to be used (§3).
+type BuildState struct {
+	Index *Index
+	parts map[int]*PartState
+}
+
+// NewBuildState returns an all-unbuilt state for idx.
+func NewBuildState(idx *Index) *BuildState {
+	return &BuildState{Index: idx, parts: make(map[int]*PartState)}
+}
+
+// Part returns the state of index partition id (zero value if untouched).
+func (b *BuildState) Part(id int) PartState {
+	if s, ok := b.parts[id]; ok {
+		return *s
+	}
+	return PartState{}
+}
+
+// MarkBuilt records that the index partition over table partition id was
+// completed at time t against the partition's current version.
+func (b *BuildState) MarkBuilt(id int, t float64) error {
+	if id < 0 || id >= len(b.Index.Table.Partitions) {
+		return fmt.Errorf("data: index %s: no table partition %d", b.Index.Name(), id)
+	}
+	b.parts[id] = &PartState{
+		Built:   true,
+		BuiltAt: t,
+		Version: b.Index.Table.Partitions[id].Version,
+	}
+	return nil
+}
+
+// Invalidate marks the index partition over table partition id as not built
+// (used when the table partition is updated, §3: "Indexes built on table
+// partitions that are updated are deleted and marked as not built").
+func (b *BuildState) Invalidate(id int) {
+	delete(b.parts, id)
+}
+
+// Reset clears all build state (the index is dropped).
+func (b *BuildState) Reset() {
+	b.parts = make(map[int]*PartState)
+}
+
+// BuiltCount returns how many index partitions currently exist.
+func (b *BuildState) BuiltCount() int {
+	n := 0
+	for _, s := range b.parts {
+		if s.Built {
+			n++
+		}
+	}
+	return n
+}
+
+// BuiltFraction returns the fraction of table partitions whose index
+// partition exists, in [0, 1].
+func (b *BuildState) BuiltFraction() float64 {
+	total := len(b.Index.Table.Partitions)
+	if total == 0 {
+		return 0
+	}
+	return float64(b.BuiltCount()) / float64(total)
+}
+
+// FullyBuilt reports whether every partition's index exists.
+func (b *BuildState) FullyBuilt() bool {
+	return b.BuiltCount() == len(b.Index.Table.Partitions)
+}
+
+// BuiltSizeMB returns the storage footprint of the built partitions only.
+func (b *BuildState) BuiltSizeMB() float64 {
+	var sum float64
+	for id, s := range b.parts {
+		if s.Built && id < len(b.Index.Table.Partitions) {
+			sum += b.Index.PartitionSizeMB(b.Index.Table.Partitions[id])
+		}
+	}
+	return sum
+}
+
+// BuiltPaths returns the storage paths of the built index partitions,
+// sorted.
+func (b *BuildState) BuiltPaths() []string {
+	var paths []string
+	for id, s := range b.parts {
+		if s.Built {
+			paths = append(paths, b.Index.PartitionPath(id))
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// MissingPartitions returns the IDs of table partitions whose index
+// partition does not currently exist, in ascending order.
+func (b *BuildState) MissingPartitions() []int {
+	var ids []int
+	for _, p := range b.Index.Table.Partitions {
+		if s, ok := b.parts[p.ID]; !ok || !s.Built {
+			ids = append(ids, p.ID)
+		}
+	}
+	return ids
+}
+
+// Catalog holds the tables and the evolving index sets of the service: the
+// potential indexes Pi, the available (at least partially built) indexes
+// I(t), and the full history of everything ever registered.
+type Catalog struct {
+	tables map[string]*Table
+	states map[string]*BuildState
+	// byPath maps a partition path to its table, built lazily.
+	byPath map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		states: make(map[string]*BuildState),
+	}
+}
+
+// AddTable registers t. It returns an error on duplicate names.
+func (c *Catalog) AddTable(t *Table) error {
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("data: duplicate table %q", t.Name)
+	}
+	c.tables[t.Name] = t
+	c.byPath = nil // invalidate the path map
+	return nil
+}
+
+// FindPartition resolves a storage path to its table and partition.
+// Partitions added to a table after its registration are found as long as
+// the lookup map has not been built yet; AddTable invalidates it.
+func (c *Catalog) FindPartition(path string) (*Table, Partition, bool) {
+	if c.byPath == nil {
+		c.byPath = make(map[string]*Table)
+		for _, t := range c.tables {
+			for _, p := range t.Partitions {
+				c.byPath[p.Path] = t
+			}
+		}
+	}
+	t, ok := c.byPath[path]
+	if !ok {
+		return nil, Partition{}, false
+	}
+	for _, p := range t.Partitions {
+		if p.Path == path {
+			return t, p, true
+		}
+	}
+	return nil, Partition{}, false
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// RegisterIndex adds idx to the potential set. Registering the same name
+// twice is an error.
+func (c *Catalog) RegisterIndex(idx *Index) (*BuildState, error) {
+	name := idx.Name()
+	if _, ok := c.states[name]; ok {
+		return nil, fmt.Errorf("data: duplicate index %q", name)
+	}
+	if c.tables[idx.Table.Name] == nil {
+		return nil, fmt.Errorf("data: index %q references unregistered table %q", name, idx.Table.Name)
+	}
+	st := NewBuildState(idx)
+	c.states[name] = st
+	return st, nil
+}
+
+// State returns the build state of the named index, or nil.
+func (c *Catalog) State(name string) *BuildState { return c.states[name] }
+
+// IndexNames returns all registered index names, sorted.
+func (c *Catalog) IndexNames() []string {
+	names := make([]string, 0, len(c.states))
+	for n := range c.states {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Available reports whether the named index has at least one built
+// partition (usable incrementally per §3).
+func (c *Catalog) Available(name string) bool {
+	st := c.states[name]
+	return st != nil && st.BuiltCount() > 0
+}
+
+// AvailableSet returns the set I(t) of currently usable indexes.
+func (c *Catalog) AvailableSet() map[string]bool {
+	avail := make(map[string]bool)
+	for n, st := range c.states {
+		if st.BuiltCount() > 0 {
+			avail[n] = true
+		}
+	}
+	return avail
+}
+
+// Drop deletes all built partitions of the named index and returns their
+// storage paths so the caller can free them from the storage service.
+func (c *Catalog) Drop(name string) []string {
+	st := c.states[name]
+	if st == nil {
+		return nil
+	}
+	paths := st.BuiltPaths()
+	st.Reset()
+	return paths
+}
+
+// BuiltSizeMB returns the total storage footprint of all built index
+// partitions across the catalog.
+func (c *Catalog) BuiltSizeMB() float64 {
+	var sum float64
+	for _, st := range c.states {
+		sum += st.BuiltSizeMB()
+	}
+	return sum
+}
+
+// ApplyUpdate performs a batch update on partition pid of the named table:
+// it bumps the partition version and invalidates every index partition
+// built on it, returning the storage paths of the invalidated index
+// partitions.
+func (c *Catalog) ApplyUpdate(table string, pid int) ([]string, error) {
+	t := c.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("data: unknown table %q", table)
+	}
+	if _, err := t.UpdatePartition(pid); err != nil {
+		return nil, err
+	}
+	var freed []string
+	for _, st := range c.states {
+		if st.Index.Table != t {
+			continue
+		}
+		if s, ok := st.parts[pid]; ok && s.Built {
+			freed = append(freed, st.Index.PartitionPath(pid))
+			st.Invalidate(pid)
+		}
+	}
+	sort.Strings(freed)
+	return freed, nil
+}

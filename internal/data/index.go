@@ -1,0 +1,211 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"idxflow/internal/cloud"
+)
+
+// DefaultBlockSize is the disk block size in bytes used to compute the
+// B+Tree fan-out k (§3: "k is the width of the tree computed from the block
+// size on the disk and the record size").
+const DefaultBlockSize = 4096
+
+// PointerSize is the size in bytes of a record pointer stored in index
+// entries.
+const PointerSize = 8
+
+// IndexKind selects the physical index structure (§1 names both: "a B-tree
+// index or ... a hash index").
+type IndexKind int
+
+// The supported index kinds.
+const (
+	// BPlusTree supports lookups, range scans, sorting and grouping; §3
+	// assumes it "without loss of generality".
+	BPlusTree IndexKind = iota
+	// HashIndex supports O(1) lookups only; it cannot serve ranges or
+	// ordered scans.
+	HashIndex
+)
+
+// hashOverhead is the bucket-array and load-factor overhead of a hash
+// index relative to its raw entries.
+const hashOverhead = 1.3
+
+// Index describes an index idx(t, C, T) per §3: an index on table t over
+// the ordered column set C. Creation times T of its partitions are tracked
+// separately by BuildState so that the same descriptor can be shared.
+type Index struct {
+	Table   *Table
+	Columns []string
+	// Kind selects the physical structure; the zero value is the paper's
+	// default B+Tree.
+	Kind IndexKind
+	// BlockSize is the disk block size in bytes; DefaultBlockSize if 0.
+	BlockSize float64
+	// BuildConst is C(idx), the per-record CPU constant of the build-time
+	// formula in seconds per (record * log2 record). If 0, it is derived
+	// from the indexed column widths (wider keys compare slower).
+	BuildConst float64
+}
+
+// NewIndex returns a B+Tree index over the given columns of t. It returns
+// an error if a column is unknown or the column set is empty.
+func NewIndex(t *Table, columns ...string) (*Index, error) {
+	return newIndex(t, BPlusTree, columns)
+}
+
+// NewHashIndex returns a hash index over the given columns of t.
+func NewHashIndex(t *Table, columns ...string) (*Index, error) {
+	return newIndex(t, HashIndex, columns)
+}
+
+func newIndex(t *Table, kind IndexKind, columns []string) (*Index, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("data: index on %s needs at least one column", t.Name)
+	}
+	for _, c := range columns {
+		if _, ok := t.Column(c); !ok {
+			return nil, fmt.Errorf("data: table %s has no column %q", t.Name, c)
+		}
+	}
+	return &Index{Table: t, Columns: columns, Kind: kind}, nil
+}
+
+// Name returns the canonical index name: "<table>/<col1>+<col2>..." for
+// B+Trees, with an "@hash" suffix for hash indexes so both kinds on the
+// same columns stay distinct.
+func (idx *Index) Name() string {
+	name := idx.Table.Name + "/" + strings.Join(idx.Columns, "+")
+	if idx.Kind == HashIndex {
+		name += "@hash"
+	}
+	return name
+}
+
+// PartitionPath returns the storage path of the index partition built on
+// table partition id.
+func (idx *Index) PartitionPath(id int) string {
+	return fmt.Sprintf("idx/%s/%d", idx.Name(), id)
+}
+
+// RecSize returns the average index record size in bytes: the indexed key
+// columns plus a record pointer (§3: "RecSize is the average size of the
+// record in the index, computed from column statistics").
+func (idx *Index) RecSize() float64 {
+	var sum float64
+	for _, name := range idx.Columns {
+		c, _ := idx.Table.Column(name)
+		sum += c.AvgSize
+	}
+	return sum + PointerSize
+}
+
+// Fanout returns k, the width of the B+Tree: how many index records fit in
+// one disk block. It is always at least 2.
+func (idx *Index) Fanout() float64 {
+	bs := idx.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	k := math.Floor(bs / idx.RecSize())
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// PartitionSizeMB returns size(idx, p) in MB. For B+Trees it uses the
+// geometric-series bound of §3 for a balanced tree of fan-out k over N
+// records:
+//
+//	total records incl. non-leaf = sum_{i=0..m} k^i = (k^{m+1}-1)/(k-1),
+//	m = log_k N,  size = total * RecSize,
+//
+// which with k^m = N is (N*k - 1)/(k - 1) * RecSize. Hash indexes store N
+// entries plus bucket-array overhead.
+func (idx *Index) PartitionSizeMB(p Partition) float64 {
+	n := float64(p.NumRecords)
+	if n <= 0 {
+		return 0
+	}
+	if idx.Kind == HashIndex {
+		return n * idx.RecSize() * hashOverhead / 1e6
+	}
+	k := idx.Fanout()
+	total := (n*k - 1) / (k - 1)
+	return total * idx.RecSize() / 1e6
+}
+
+// SizeMB returns the total index size: the sum of the sizes of its
+// partitions (§3: "The index size is computed by adding the sizes of its
+// partitions").
+func (idx *Index) SizeMB() float64 {
+	var sum float64
+	for _, p := range idx.Table.Partitions {
+		sum += idx.PartitionSizeMB(p)
+	}
+	return sum
+}
+
+// buildConst returns C(idx): per §3 it is "a constant calculated using the
+// columns in the index". We scale a base per-comparison cost by the key
+// width relative to an 8-byte key, so wider keys build slower.
+func (idx *Index) buildConst() float64 {
+	if idx.BuildConst > 0 {
+		return idx.BuildConst
+	}
+	const basePerRecord = 2e-7 // seconds per record*log2(n) for an 8-byte key
+	return basePerRecord * (idx.RecSize() - PointerSize + 8) / 8
+}
+
+// BuildIOSeconds returns tio(idx, p): the time to read the table partition
+// and write the index partition over the container's network link (§3):
+//
+//	tio = (p.n * RecSize_table + size(idx, p)) / cont.net.
+func (idx *Index) BuildIOSeconds(p Partition, spec cloud.Spec) float64 {
+	readMB := idx.Table.PartitionSizeMB(p)
+	writeMB := idx.PartitionSizeMB(p)
+	return spec.TransferSeconds(readMB + writeMB)
+}
+
+// BuildCPUSeconds returns the CPU time of building the index on partition
+// p: C(idx) * n * log_k(n) per §3's tip formula for B+Trees; hash indexes
+// build in linear time.
+func (idx *Index) BuildCPUSeconds(p Partition) float64 {
+	n := float64(p.NumRecords)
+	if n <= 1 {
+		return 0
+	}
+	if idx.Kind == HashIndex {
+		return idx.buildConst() * n
+	}
+	k := idx.Fanout()
+	return idx.buildConst() * n * math.Log(n) / math.Log(k)
+}
+
+// BuildSeconds returns tip(idx, p) = tio + CPU build time for one partition.
+func (idx *Index) BuildSeconds(p Partition, spec cloud.Spec) float64 {
+	return idx.BuildIOSeconds(p, spec) + idx.BuildCPUSeconds(p)
+}
+
+// TotalBuildSeconds returns ti(idx): the time to build all index partitions
+// sequentially (§3: "computed by adding the time to build all the index
+// partitions").
+func (idx *Index) TotalBuildSeconds(spec cloud.Spec) float64 {
+	var sum float64
+	for _, p := range idx.Table.Partitions {
+		sum += idx.BuildSeconds(p, spec)
+	}
+	return sum
+}
+
+// StorageCost returns st(idx, W): the cost of keeping the whole index
+// stored for W quanta, which is the sum of stp(idx, p, W) = W * size * Mst
+// over its partitions (§3).
+func (idx *Index) StorageCost(pricing cloud.Pricing, quanta float64) float64 {
+	return pricing.StorageCost(idx.SizeMB(), quanta)
+}

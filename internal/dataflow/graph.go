@@ -1,0 +1,381 @@
+// Package dataflow models data processing flows as directed acyclic graphs
+// of operators, following the application model of Kllapi et al. (EDBT 2020,
+// §3): nodes are operators annotated with resource demands and an estimated
+// runtime, and edges carry the size of the data transferred between them.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpID identifies an operator within a single Graph.
+type OpID int
+
+// Kind classifies operators into the five generic categories of §1 where
+// indexes help, plus generic processing and the index-build operator used by
+// the interleaving algorithms.
+type Kind int
+
+// Operator kinds. KindProcess is a generic black-box computation.
+const (
+	KindProcess Kind = iota
+	KindLookup
+	KindRangeSelect
+	KindSort
+	KindGroup
+	KindJoin
+	KindPartition
+	KindAggregate
+	KindBuildIndex
+)
+
+var kindNames = [...]string{
+	"process", "lookup", "range", "sort", "group", "join",
+	"partition", "aggregate", "build-index",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Operator is a node of a dataflow graph, modelled as
+// op(cpu, memory, disk, time) per §3 of the paper.
+type Operator struct {
+	ID   OpID
+	Name string
+	Kind Kind
+
+	// CPU and Memory are fractions of a single container's capacity in
+	// (0, 1]. Disk is scratch space in MB.
+	CPU    float64
+	Memory float64
+	Disk   float64
+
+	// Time is the estimated runtime in seconds on a dedicated container.
+	Time float64
+
+	// Priority controls preemption in the execution simulator: dataflow
+	// operators run at priority 1, index-build operators at -1 and are
+	// stopped when a positive-priority operator arrives or the leased
+	// quantum expires (§6.1).
+	Priority int
+
+	// Optional marks operators that the online interleaving algorithm may
+	// drop from a schedule without violating the dataflow (§5.3.2). It is
+	// true exactly for index-build operators.
+	Optional bool
+
+	// Reads lists the partition paths this operator consumes from the
+	// storage service. Used by the simulator's cache model and by the
+	// gain model to associate indexes with operators.
+	Reads []string
+
+	// BuildsIndex names the index partition an index-build operator
+	// creates; empty for dataflow operators.
+	BuildsIndex string
+}
+
+// Edge is a flow dependency between two operators carrying Size MB of data.
+type Edge struct {
+	From, To OpID
+	Size     float64 // MB
+}
+
+// Graph is a DAG of operators. The zero value is not usable; call New.
+type Graph struct {
+	ops   map[OpID]*Operator
+	order []OpID // insertion order, for deterministic iteration
+	out   map[OpID][]Edge
+	in    map[OpID][]Edge
+	next  OpID
+}
+
+// New returns an empty dataflow graph.
+func New() *Graph {
+	return &Graph{
+		ops: make(map[OpID]*Operator),
+		out: make(map[OpID][]Edge),
+		in:  make(map[OpID][]Edge),
+	}
+}
+
+// Add inserts op into the graph, assigning and returning its ID.
+// The Operator is copied; the caller keeps ownership of the argument.
+func (g *Graph) Add(op Operator) OpID {
+	id := g.next
+	g.next++
+	op.ID = id
+	g.ops[id] = &op
+	g.order = append(g.order, id)
+	return id
+}
+
+// Connect adds a flow edge carrying size MB from one operator to another.
+// It returns an error if either endpoint is unknown, if the edge would be a
+// self-loop, or if it would create a cycle.
+func (g *Graph) Connect(from, to OpID, size float64) error {
+	if _, ok := g.ops[from]; !ok {
+		return fmt.Errorf("dataflow: unknown source operator %d", from)
+	}
+	if _, ok := g.ops[to]; !ok {
+		return fmt.Errorf("dataflow: unknown target operator %d", to)
+	}
+	if from == to {
+		return fmt.Errorf("dataflow: self-loop on operator %d", from)
+	}
+	if size < 0 {
+		return fmt.Errorf("dataflow: negative edge size %g", size)
+	}
+	if g.reaches(to, from) {
+		return fmt.Errorf("dataflow: edge %d->%d would create a cycle", from, to)
+	}
+	e := Edge{From: from, To: to, Size: size}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// reaches reports whether to is reachable from from.
+func (g *Graph) reaches(from, to OpID) bool {
+	if from == to {
+		return true
+	}
+	seen := make(map[OpID]bool)
+	stack := []OpID{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range g.out[n] {
+			stack = append(stack, e.To)
+		}
+	}
+	return false
+}
+
+// Op returns the operator with the given ID, or nil if it does not exist.
+// The returned pointer aliases graph state; mutate with care.
+func (g *Graph) Op(id OpID) *Operator { return g.ops[id] }
+
+// Len returns the number of operators.
+func (g *Graph) Len() int { return len(g.ops) }
+
+// Ops returns all operator IDs in insertion order.
+func (g *Graph) Ops() []OpID {
+	ids := make([]OpID, len(g.order))
+	copy(ids, g.order)
+	return ids
+}
+
+// In returns the incoming edges of id.
+func (g *Graph) In(id OpID) []Edge { return g.in[id] }
+
+// Out returns the outgoing edges of id.
+func (g *Graph) Out(id OpID) []Edge { return g.out[id] }
+
+// Sources returns the operators with no incoming edges, in insertion order.
+func (g *Graph) Sources() []OpID {
+	var src []OpID
+	for _, id := range g.order {
+		if len(g.in[id]) == 0 {
+			src = append(src, id)
+		}
+	}
+	return src
+}
+
+// Sinks returns the operators with no outgoing edges, in insertion order.
+func (g *Graph) Sinks() []OpID {
+	var snk []OpID
+	for _, id := range g.order {
+		if len(g.out[id]) == 0 {
+			snk = append(snk, id)
+		}
+	}
+	return snk
+}
+
+// ErrCycle is returned by TopoSort if the graph contains a cycle. Connect
+// prevents cycles, so this can only happen through direct state corruption.
+var ErrCycle = errors.New("dataflow: graph contains a cycle")
+
+// TopoSort returns the operators in a topological order. Among operators
+// whose dependencies are equally satisfied, insertion order is preserved,
+// so the result is deterministic.
+func (g *Graph) TopoSort() ([]OpID, error) {
+	indeg := make(map[OpID]int, len(g.ops))
+	for _, id := range g.order {
+		indeg[id] = len(g.in[id])
+	}
+	var ready []OpID
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sorted := make([]OpID, 0, len(g.ops))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		sorted = append(sorted, id)
+		for _, e := range g.out[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(sorted) != len(g.ops) {
+		return nil, ErrCycle
+	}
+	return sorted, nil
+}
+
+// TotalWork returns the sum of the estimated runtimes of all operators,
+// in seconds: the serial execution time on one container, ignoring
+// transfers.
+func (g *Graph) TotalWork() float64 {
+	var sum float64
+	for _, op := range g.ops {
+		sum += op.Time
+	}
+	return sum
+}
+
+// CriticalPath returns the length in seconds of the longest runtime-weighted
+// path through the graph: a lower bound on any schedule's makespan with
+// free communication.
+func (g *Graph) CriticalPath() float64 {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0
+	}
+	finish := make(map[OpID]float64, len(order))
+	var longest float64
+	for _, id := range order {
+		var start float64
+		for _, e := range g.in[id] {
+			if f := finish[e.From]; f > start {
+				start = f
+			}
+		}
+		f := start + g.ops[id].Time
+		finish[id] = f
+		if f > longest {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// Validate checks structural invariants: every edge endpoint exists, every
+// operator has a positive runtime estimate and resource demands within a
+// single container's capacity.
+func (g *Graph) Validate() error {
+	for _, id := range g.order {
+		op := g.ops[id]
+		if op.Time < 0 {
+			return fmt.Errorf("dataflow: operator %d (%s) has negative time %g", id, op.Name, op.Time)
+		}
+		if op.CPU < 0 || op.CPU > 1 {
+			return fmt.Errorf("dataflow: operator %d (%s) has CPU demand %g outside [0,1]", id, op.Name, op.CPU)
+		}
+		if op.Memory < 0 || op.Memory > 1 {
+			return fmt.Errorf("dataflow: operator %d (%s) has memory demand %g outside [0,1]", id, op.Name, op.Memory)
+		}
+	}
+	for from, edges := range g.out {
+		if _, ok := g.ops[from]; !ok {
+			return fmt.Errorf("dataflow: edge list for unknown operator %d", from)
+		}
+		for _, e := range edges {
+			if _, ok := g.ops[e.To]; !ok {
+				return fmt.Errorf("dataflow: edge %d->%d targets unknown operator", e.From, e.To)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.next = g.next
+	c.order = append([]OpID(nil), g.order...)
+	for id, op := range g.ops {
+		cp := *op
+		cp.Reads = append([]string(nil), op.Reads...)
+		c.ops[id] = &cp
+	}
+	for id, edges := range g.out {
+		c.out[id] = append([]Edge(nil), edges...)
+	}
+	for id, edges := range g.in {
+		c.in[id] = append([]Edge(nil), edges...)
+	}
+	return c
+}
+
+// Levels partitions the operators into dependency levels: level 0 holds the
+// sources, and each operator sits one level past its deepest predecessor.
+// Useful for layered workflow shapes like Montage (Fig. 5).
+func (g *Graph) Levels() [][]OpID {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	level := make(map[OpID]int, len(order))
+	maxLevel := 0
+	for _, id := range order {
+		l := 0
+		for _, e := range g.in[id] {
+			if lv := level[e.From] + 1; lv > l {
+				l = lv
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	levels := make([][]OpID, maxLevel+1)
+	for _, id := range order {
+		levels[level[id]] = append(levels[level[id]], id)
+	}
+	return levels
+}
+
+// DOT renders the graph in Graphviz dot format for debugging and
+// documentation.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	ids := append([]OpID(nil), g.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		op := g.ops[id]
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, fmt.Sprintf("%s\\n%.1fs", op.Name, op.Time))
+	}
+	for _, id := range ids {
+		for _, e := range g.out[id] {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, fmt.Sprintf("%.1fMB", e.Size))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"testing"
+
+	"idxflow/internal/tpch"
+)
+
+func benchRows(b *testing.B, n int) []tpch.Row {
+	b.Helper()
+	return tpch.Generate(float64(n)/tpch.RowsPerScale, 21)
+}
+
+func BenchmarkScanOrderBy(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanOrderBy(rows, OrderKey)
+	}
+}
+
+func BenchmarkIndexOrderBy(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	tree, err := BuildBTree(rows, OrderKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IndexOrderBy(tree)
+	}
+}
+
+func BenchmarkScanLookup(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	key := rows[len(rows)-1].OrderKey
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanLookup(rows, OrderKey, key)
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	tree, err := BuildBTree(rows, OrderKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := rows[len(rows)-1].OrderKey
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IndexLookup(tree, key)
+	}
+}
+
+func BenchmarkSortMergeJoin(b *testing.B) {
+	left := benchRows(b, 10_000)
+	right := benchRows(b, 10_000)
+	lt, err := BuildBTree(left, OrderKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := BuildBTree(right, OrderKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortMergeJoin(lt, rt)
+	}
+}

@@ -1,0 +1,230 @@
+// Package exec implements the five generic operator categories of §1 of the
+// paper — lookup, range select, sorting, grouping and join — each with a
+// plain-scan implementation and an index-assisted implementation. Timing
+// these pairs on the synthetic lineitem table regenerates the Table 6
+// speedups on our substrate.
+package exec
+
+import (
+	"sort"
+
+	"idxflow/internal/bptree"
+	"idxflow/internal/tpch"
+)
+
+// KeyFunc extracts an int64 sort/lookup key from a row.
+type KeyFunc func(r tpch.Row) int64
+
+// OrderKey returns the row's order key.
+func OrderKey(r tpch.Row) int64 { return r.OrderKey }
+
+// CommitDate returns the row's commit date as days.
+func CommitDate(r tpch.Row) int64 { return int64(r.CommitDate) }
+
+// BuildBTree bulk-loads a B+Tree index mapping key to row position.
+func BuildBTree(rows []tpch.Row, key KeyFunc) (*bptree.Tree, error) {
+	pairs := make([]bptree.Pair, len(rows))
+	for i, r := range rows {
+		pairs[i] = bptree.Pair{Key: key(r), Val: int64(i)}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return bptree.BulkLoad(bptree.DefaultOrder, pairs)
+}
+
+// HashIndex maps a key to the positions of the rows holding it — the O(1)
+// lookup structure of §1.
+type HashIndex map[int64][]int32
+
+// BuildHash builds a hash index on key.
+func BuildHash(rows []tpch.Row, key KeyFunc) HashIndex {
+	h := make(HashIndex, len(rows)/4)
+	for i, r := range rows {
+		k := key(r)
+		h[k] = append(h[k], int32(i))
+	}
+	return h
+}
+
+// Lookup returns the positions of rows with the given key.
+func (h HashIndex) Lookup(k int64) []int32 { return h[k] }
+
+// ScanOrderBy returns row positions sorted by key using an O(n log n) sort
+// over the raw rows ("Order by" without an index).
+func ScanOrderBy(rows []tpch.Row, key KeyFunc) []int32 {
+	out := make([]int32, len(rows))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return key(rows[out[a]]) < key(rows[out[b]])
+	})
+	return out
+}
+
+// IndexOrderBy returns row positions sorted by key by scanning the sorted
+// leaves of the index in O(n) ("Order by" with an index).
+func IndexOrderBy(tree *bptree.Tree) []int32 {
+	out := make([]int32, 0, tree.Len())
+	tree.Scan(func(k, v int64) bool {
+		out = append(out, int32(v))
+		return true
+	})
+	return out
+}
+
+// ScanRange returns the positions of rows with lo <= key < hi via a full
+// scan ("Select range" without an index, O(n)).
+func ScanRange(rows []tpch.Row, key KeyFunc, lo, hi int64) []int32 {
+	var out []int32
+	for i, r := range rows {
+		if k := key(r); k >= lo && k < hi {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// IndexRange returns the positions of rows with lo <= key < hi using the
+// index in O(log n + k).
+func IndexRange(tree *bptree.Tree, lo, hi int64) []int32 {
+	var out []int32
+	tree.Range(lo, hi, func(k, v int64) bool {
+		out = append(out, int32(v))
+		return true
+	})
+	return out
+}
+
+// ScanLookup returns the position of the first row with the given key via a
+// full scan ("Lookup" without an index, O(n)).
+func ScanLookup(rows []tpch.Row, key KeyFunc, k int64) (int32, bool) {
+	for i, r := range rows {
+		if key(r) == k {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// IndexLookup returns the position of the first row with the given key via
+// the B+Tree in O(log n).
+func IndexLookup(tree *bptree.Tree, k int64) (int32, bool) {
+	v, ok := tree.Get(k)
+	return int32(v), ok
+}
+
+// Group is one group of an aggregation: a key, its row count and the sum of
+// the rows' quantities.
+type Group struct {
+	Key         int64
+	Count       int64
+	SumQuantity int64
+}
+
+// ScanGroup aggregates rows by key with a sort-based O(n log n) grouping
+// ("Grouping ... can be efficiently performed using sorting", §1).
+func ScanGroup(rows []tpch.Row, key KeyFunc) []Group {
+	order := ScanOrderBy(rows, key)
+	return groupSorted(rows, key, func(visit func(pos int32) bool) {
+		for _, p := range order {
+			if !visit(p) {
+				return
+			}
+		}
+	})
+}
+
+// IndexGroup aggregates rows by key in O(n) by scanning the sorted index.
+func IndexGroup(rows []tpch.Row, key KeyFunc, tree *bptree.Tree) []Group {
+	return groupSorted(rows, key, func(visit func(pos int32) bool) {
+		tree.Scan(func(k, v int64) bool { return visit(int32(v)) })
+	})
+}
+
+// groupSorted folds rows arriving in key order into groups.
+func groupSorted(rows []tpch.Row, key KeyFunc, each func(visit func(pos int32) bool)) []Group {
+	var out []Group
+	var cur *Group
+	each(func(pos int32) bool {
+		r := rows[pos]
+		k := key(r)
+		if cur == nil || cur.Key != k {
+			out = append(out, Group{Key: k})
+			cur = &out[len(out)-1]
+		}
+		cur.Count++
+		cur.SumQuantity += int64(r.Quantity)
+		return true
+	})
+	return out
+}
+
+// JoinPair is one matched pair of row positions from a join.
+type JoinPair struct {
+	Left, Right int32
+}
+
+// NestedLoopJoin joins two row sets on equal keys in O(n*m) ("Join" without
+// an index).
+func NestedLoopJoin(left, right []tpch.Row, lkey, rkey KeyFunc) []JoinPair {
+	var out []JoinPair
+	for i, l := range left {
+		lk := lkey(l)
+		for j, r := range right {
+			if rkey(r) == lk {
+				out = append(out, JoinPair{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}
+
+// IndexJoin joins by probing a B+Tree on the right side in O(n log m).
+func IndexJoin(left []tpch.Row, lkey KeyFunc, rightTree *bptree.Tree) []JoinPair {
+	var out []JoinPair
+	for i, l := range left {
+		for _, v := range rightTree.GetAll(lkey(l)) {
+			out = append(out, JoinPair{int32(i), int32(v)})
+		}
+	}
+	return out
+}
+
+// SortMergeJoin joins two row sets whose sorted order is provided by
+// indexes, in O(n + m + matches) ("the complexity of sort-merge join is
+// O(n+m) if the inputs are sorted", §1).
+func SortMergeJoin(leftTree, rightTree *bptree.Tree) []JoinPair {
+	type entry struct {
+		k int64
+		v int32
+	}
+	collect := func(t *bptree.Tree) []entry {
+		out := make([]entry, 0, t.Len())
+		t.Scan(func(k, v int64) bool {
+			out = append(out, entry{k, int32(v)})
+			return true
+		})
+		return out
+	}
+	ls, rs := collect(leftTree), collect(rightTree)
+	var out []JoinPair
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].k < rs[j].k:
+			i++
+		case ls[i].k > rs[j].k:
+			j++
+		default:
+			k := ls[i].k
+			jStart := j
+			for i < len(ls) && ls[i].k == k {
+				for j = jStart; j < len(rs) && rs[j].k == k; j++ {
+					out = append(out, JoinPair{ls[i].v, rs[j].v})
+				}
+				i++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/core"
+	"idxflow/internal/workload"
+)
+
+// Ablations sweeps the design knobs DESIGN.md calls out — the time-money
+// weight α, the fading controller D, the history window W, the
+// interleaving algorithm, the skyline width, the heterogeneous pool and
+// the §7 extensions — each on the same phase workload, reporting finished
+// dataflows and cost per dataflow. horizon is in seconds; phases are
+// scaled to fit it.
+func Ablations(seed int64, horizon float64) *Table {
+	t := &Table{
+		Title:  "Ablations: Gain strategy under swept design knobs (phase workload)",
+		Header: []string{"Knob", "Value", "Finished", "Cost/dataflow ($)", "Mean makespan (s)"},
+	}
+
+	run := func(knob, value string, mutate func(cfg *core.Config)) {
+		db, err := workload.NewFileDB(seed)
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(db, seed+1)
+		phases := workload.DefaultPhases()
+		if horizon < Horizon720 {
+			f := horizon / Horizon720
+			for i := range phases {
+				phases[i].Seconds *= f
+			}
+		}
+		flows := gen.PhaseWorkload(phases, 60)
+		cfg := core.DefaultConfig()
+		cfg.Sched.MaxSkyline = 4
+		cfg.RuntimeError = 0.1
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		m := core.NewService(cfg, db).Run(flows, horizon)
+		t.AddRow(knob, value, m.FlowsFinished, m.CostPerFlow, m.MeanMakespan)
+	}
+
+	run("baseline", "defaults", nil)
+	for _, a := range []float64{0, 0.5, 1} {
+		a := a
+		run("alpha", fmt.Sprintf("%.1f", a), func(cfg *core.Config) { cfg.Gain.Alpha = a })
+	}
+	for _, d := range []float64{1, 10, 100} {
+		d := d
+		run("fading D", fmt.Sprintf("%g", d), func(cfg *core.Config) { cfg.Gain.FadeD = d })
+	}
+	for _, w := range []float64{2, 120, 0} {
+		w := w
+		label := fmt.Sprintf("%g", w)
+		if w == 0 {
+			label = "unbounded"
+		}
+		run("window W", label, func(cfg *core.Config) { cfg.Gain.WindowW = w })
+	}
+	run("interleaver", "online", func(cfg *core.Config) { cfg.Algo = core.OnlineInterleave })
+	run("pool", "two-tier", func(cfg *core.Config) { cfg.Sched.Types = cloud.DefaultVMTypes() })
+	run("extension", "dedicated-builds", func(cfg *core.Config) {
+		cfg.AllowDedicatedBuilds = true
+		cfg.DedicatedMargin = 2
+	})
+	run("extension", "adaptive-fading", func(cfg *core.Config) { cfg.AdaptiveFading = true })
+	run("extension", "batch-updates", func(cfg *core.Config) {
+		cfg.UpdateEveryQuanta = 60
+		cfg.UpdateFraction = 0.02
+	})
+
+	t.Notes = append(t.Notes,
+		"every row runs the full tuning loop on the same workload; only the named knob changes")
+	return t
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"idxflow/internal/core"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", 3.0)
+	s := tab.String()
+	for _, want := range []string{"== T ==", "a", "bb", "2.5", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// trimFloat drops trailing zeros.
+	if !strings.Contains(s, "x   3\n") && !strings.Contains(s, "3  ") {
+		t.Errorf("float 3.0 not trimmed:\n%s", s)
+	}
+}
+
+func TestParams(t *testing.T) {
+	tab := Params()
+	if len(tab.Rows) != 9 {
+		t.Errorf("Table 3 has %d rows, want 9", len(tab.Rows))
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tab := Table4(1, 3)
+	if len(tab.Rows) != 6 { // measured + paper row per app
+		t.Fatalf("Table 4 has %d rows, want 6", len(tab.Rows))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab := Table5()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table 5 has %d rows, want 4", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "comment" || tab.Rows[3][0] != "orderkey" {
+		t.Errorf("row order: %v", tab.Rows)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	res, err := Table6(0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Speedups
+	// The headline ordering of Table 6 must hold even at small scale:
+	// order-by benefits least; point access benefits most.
+	if !(s["Order by"] > 1) {
+		t.Errorf("order-by speedup = %.2f, want > 1", s["Order by"])
+	}
+	if !(s["Lookup"] > s["Order by"]) {
+		t.Errorf("lookup (%.1f) should beat order-by (%.1f)", s["Lookup"], s["Order by"])
+	}
+	if !(s["Select range (small)"] > s["Select range (large)"]) {
+		t.Errorf("small range (%.1f) should beat large range (%.1f)",
+			s["Select range (small)"], s["Select range (large)"])
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := Fig3()
+	// Find g(B) at t=0 (negative) and at t=50 (positive).
+	var g0, g50 string
+	for _, r := range tab.Rows {
+		if r[0] == "0" {
+			g0 = r[2]
+		}
+		if r[0] == "50" {
+			g50 = r[2]
+		}
+	}
+	if !strings.HasPrefix(g0, "-") {
+		t.Errorf("g(B,0) = %s, want negative", g0)
+	}
+	if strings.HasPrefix(g50, "-") {
+		t.Errorf("g(B,50) = %s, want positive", g50)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(1, 2)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Fig 6 has %d rows, want 7", len(tab.Rows))
+	}
+	// Zero error => zero deviation.
+	if tab.Rows[0][1] != "0" || tab.Rows[0][2] != "0" {
+		t.Errorf("0%% error row = %v, want zero deviations", tab.Rows[0])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res := Fig7(1, 1)
+	if len(res.CPUSweep) != 4 || len(res.DataSweep) != 4 {
+		t.Fatalf("sweep sizes: %d, %d", len(res.CPUSweep), len(res.DataSweep))
+	}
+	// Data-intensive at the largest scale: online must be clearly worse in
+	// money than at data scale 1 (data placement matters).
+	last := res.DataSweep[len(res.DataSweep)-1]
+	if last.MoneyDiffPct <= 0 {
+		t.Errorf("online money diff at 100x data = %.1f%%, want positive", last.MoneyDiffPct)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := Fig8(1)
+	if res.MaxLP < res.MaxOnline {
+		t.Errorf("LP max builds %d < online %d, want LP >= online", res.MaxLP, res.MaxOnline)
+	}
+	if res.MaxLP == 0 {
+		t.Error("LP placed no builds")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9(1)
+	if res.IdleAfter >= res.IdleBefore {
+		t.Errorf("interleaving did not reduce idle time: %.2f -> %.2f", res.IdleBefore, res.IdleAfter)
+	}
+	if !strings.Contains(res.Timeline, "+") {
+		t.Error("timeline shows no build ops")
+	}
+	if !strings.Contains(res.Timeline, "#") {
+		t.Error("timeline shows no dataflow ops")
+	}
+}
+
+func TestFig10And11Shape(t *testing.T) {
+	in, tab := Fig10(1)
+	if len(in.Slots) == 0 || len(in.Ops) < 15 {
+		t.Fatalf("Fig 10 input: %d slots, %d ops (want >0, ~22)", len(in.Slots), len(in.Ops))
+	}
+	if len(tab.Rows) != len(in.Slots)+len(in.Ops) {
+		t.Errorf("Fig 10 table rows = %d", len(tab.Rows))
+	}
+	res := Fig11(1)
+	if res.Graham > res.UpperBound+1e-9 || res.LP > res.UpperBound+1e-9 {
+		t.Errorf("bound violated: graham=%.3f lp=%.3f ub=%.3f", res.Graham, res.LP, res.UpperBound)
+	}
+	if res.LP < res.Graham-1e-9 {
+		t.Errorf("LP (%.3f) below Graham (%.3f) on the paper-style input", res.LP, res.Graham)
+	}
+	if res.LP <= 0 {
+		t.Error("LP gain is zero")
+	}
+}
+
+// TestPhaseShortShape runs a shortened phase experiment and asserts the
+// headline relations of Fig. 12.
+func TestPhaseShortShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic experiment")
+	}
+	res := Phase(1, Horizon720/6) // 120 quanta
+	noIdx := res.Metrics[core.NoIndex]
+	gainM := res.Metrics[core.Gain]
+	if gainM.FlowsFinished < noIdx.FlowsFinished {
+		t.Errorf("gain finished %d < no-index %d", gainM.FlowsFinished, noIdx.FlowsFinished)
+	}
+	if noIdx.KilledOps != 0 {
+		t.Errorf("no-index killed %d ops, want 0", noIdx.KilledOps)
+	}
+	if len(res.Finished.Rows) != 4 || len(res.Ops.Rows) != 4 {
+		t.Errorf("table shapes: %d finished rows, %d ops rows", len(res.Finished.Rows), len(res.Ops.Rows))
+	}
+	if len(res.Adapt.Rows) == 0 {
+		t.Error("no adaptation timeline")
+	}
+}
+
+func TestRandomShortShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic experiment")
+	}
+	res := Random(1, Horizon720/6)
+	noIdx := res.Metrics[core.NoIndex]
+	gainM := res.Metrics[core.Gain]
+	if gainM.FlowsFinished < noIdx.FlowsFinished {
+		t.Errorf("gain finished %d < no-index %d", gainM.FlowsFinished, noIdx.FlowsFinished)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"idxflow/internal/pagestore"
+	"idxflow/internal/tpch"
+)
+
+// Table6Disk measures the Table 6 speedups against the disk-backed paged
+// storage engine with a small buffer pool — the closest condition to the
+// paper's disk-resident lineitem: the no-index side pays page I/O and
+// tuple decoding for the full table, the index side touches O(log n + k)
+// pages.
+func Table6Disk(scale float64, seed int64, poolFrames int) (*Table6Result, error) {
+	if poolFrames <= 0 {
+		poolFrames = 64
+	}
+	dir, err := os.MkdirTemp("", "idxflow-table6-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rows := tpch.Generate(scale, seed)
+	tab, err := pagestore.CreateTable(filepath.Join(dir, "lineitem.pages"), poolFrames)
+	if err != nil {
+		return nil, err
+	}
+	defer tab.Close()
+	for _, r := range rows {
+		if _, err := tab.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := tab.Flush(); err != nil {
+		return nil, err
+	}
+	tree, err := tab.BuildIndex(func(r tpch.Row) int64 { return r.OrderKey })
+	if err != nil {
+		return nil, err
+	}
+	maxKey := rows[len(rows)-1].OrderKey
+	largeLo := maxKey / 3
+	largeHi := largeLo + maxKey/50 + 1
+	smallLo := maxKey / 5
+	smallHi := smallLo + maxKey/2000 + 1
+	lookupKey := maxKey * 2 / 3
+
+	timeIt := func(f func() error) (float64, error) {
+		start := time.Now()
+		err := f()
+		return time.Since(start).Seconds(), err
+	}
+
+	scanRange := func(lo, hi int64) func() error {
+		return func() error {
+			n := 0
+			return tab.Scan(func(_ pagestore.RID, r tpch.Row) bool {
+				if r.OrderKey >= lo && r.OrderKey < hi {
+					n++
+				}
+				return true
+			})
+		}
+	}
+	indexRange := func(lo, hi int64) func() error {
+		return func() error {
+			var err error
+			tree.Range(lo, hi, func(k, v int64) bool {
+				_, err = tab.Fetch(pagestore.UnpackRID(v))
+				return err == nil
+			})
+			return err
+		}
+	}
+
+	type q struct {
+		name    string
+		noIndex func() error
+		index   func() error
+	}
+	queries := []q{
+		{"Order by",
+			func() error { // sort all rows by key: full scan + sort
+				var keys []int64
+				if err := tab.Scan(func(_ pagestore.RID, r tpch.Row) bool {
+					keys = append(keys, r.OrderKey)
+					return true
+				}); err != nil {
+					return err
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				return nil
+			},
+			func() error { // index leaves are already sorted
+				tree.Scan(func(k, v int64) bool { return true })
+				return nil
+			}},
+		{"Select range (large)", scanRange(largeLo, largeHi), indexRange(largeLo, largeHi)},
+		{"Select range (small)", scanRange(smallLo, smallHi), indexRange(smallLo, smallHi)},
+		{"Lookup",
+			func() error {
+				found := false
+				err := tab.Scan(func(_ pagestore.RID, r tpch.Row) bool {
+					if r.OrderKey == lookupKey {
+						found = true
+						return false
+					}
+					return true
+				})
+				_ = found
+				return err
+			},
+			func() error {
+				v, ok := tree.Get(lookupKey)
+				if !ok {
+					return nil
+				}
+				_, err := tab.Fetch(pagestore.UnpackRID(v))
+				return err
+			}},
+	}
+
+	res := &Table6Result{
+		Table: &Table{
+			Title: fmt.Sprintf("Table 6 (disk-backed): Index speedup (scale %g, %d rows, %d pages, %d-frame pool)",
+				scale, len(rows), tab.Pages(), poolFrames),
+			Header: []string{"Query", "No-Index (ms)", "Index (ms)", "Speedup", "Paper Speedup"},
+		},
+		Speedups: make(map[string]float64),
+	}
+	paper := map[string]float64{
+		"Order by": 7.44, "Select range (large)": 94.44,
+		"Select range (small)": 307.50, "Lookup": 627.14,
+	}
+	const trials = 3
+	for _, query := range queries {
+		var noIdx, withIdx float64
+		for i := 0; i < trials; i++ {
+			d, err := timeIt(query.noIndex)
+			if err != nil {
+				return nil, err
+			}
+			noIdx += d
+			d, err = timeIt(query.index)
+			if err != nil {
+				return nil, err
+			}
+			withIdx += d
+		}
+		speedup := noIdx / withIdx
+		res.Speedups[query.name] = speedup
+		res.Table.AddRow(query.name, noIdx/trials*1e3, withIdx/trials*1e3,
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.2fx", paper[query.name]))
+	}
+	reads, _ := tab.IOStats()
+	hits, misses := tab.PoolStats()
+	res.Table.Notes = append(res.Table.Notes,
+		fmt.Sprintf("physical page reads %d, pool hits %d, misses %d", reads, hits, misses),
+		"expected shape: lookup > small range > large range > order-by; gaps wider than the in-memory variant because scans pay page I/O and decoding")
+	return res, nil
+}

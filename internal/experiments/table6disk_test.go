@@ -1,0 +1,17 @@
+package experiments
+
+import "testing"
+
+func TestTable6DiskShape(t *testing.T) {
+	res, err := Table6Disk(0.003, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Speedups
+	if !(s["Lookup"] > 1 && s["Select range (small)"] > 1) {
+		t.Errorf("speedups not > 1: %+v", s)
+	}
+	if !(s["Lookup"] > s["Order by"]) {
+		t.Errorf("lookup (%.1f) should beat order-by (%.1f)", s["Lookup"], s["Order by"])
+	}
+}

@@ -1,0 +1,170 @@
+// Package extsort implements external merge sort over paged row tables:
+// the classic database answer to "order by without an index" when the data
+// exceeds memory. It is the no-index counterpart the paper's Table 6
+// measures against — O(n log n) with run files and a k-way merge — while
+// the index side just walks sorted B+Tree leaves.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"idxflow/internal/pagestore"
+	"idxflow/internal/tpch"
+)
+
+// Key extracts the sort key from a row.
+type Key func(r tpch.Row) int64
+
+// Sort externally sorts in's rows by key into a new paged table at
+// outPath. At most memRows rows are held in memory at a time (minimum
+// 1024); intermediate run files are created in tmpDir and removed before
+// returning. The returned table is flushed and ready for scanning.
+func Sort(in *pagestore.Table, outPath string, key Key, memRows int, tmpDir string) (*pagestore.Table, error) {
+	if memRows < 1024 {
+		memRows = 1024
+	}
+	runs, err := makeRuns(in, key, memRows, tmpDir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, r := range runs {
+			r.table.Close()
+			os.Remove(r.path)
+		}
+	}()
+	out, err := pagestore.CreateTable(outPath, 8)
+	if err != nil {
+		return nil, err
+	}
+	if err := merge(runs, out, key); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := out.Flush(); err != nil {
+		out.Close()
+		return nil, err
+	}
+	return out, nil
+}
+
+type run struct {
+	table *pagestore.Table
+	path  string
+}
+
+// makeRuns splits the input into sorted run files of at most memRows rows.
+func makeRuns(in *pagestore.Table, key Key, memRows int, tmpDir string) ([]run, error) {
+	var runs []run
+	buf := make([]tpch.Row, 0, memRows)
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return key(buf[i]) < key(buf[j]) })
+		path := filepath.Join(tmpDir, fmt.Sprintf("run-%04d.pages", len(runs)))
+		rt, err := pagestore.CreateTable(path, 4)
+		if err != nil {
+			return err
+		}
+		for _, r := range buf {
+			if _, err := rt.Append(r); err != nil {
+				rt.Close()
+				return err
+			}
+		}
+		if err := rt.Flush(); err != nil {
+			rt.Close()
+			return err
+		}
+		runs = append(runs, run{table: rt, path: path})
+		buf = buf[:0]
+		return nil
+	}
+
+	var flushErr error
+	err := in.Scan(func(_ pagestore.RID, r tpch.Row) bool {
+		buf = append(buf, r)
+		if len(buf) >= memRows {
+			if flushErr = flush(); flushErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err == nil {
+		err = flushErr
+	}
+	if err != nil {
+		for _, r := range runs {
+			r.table.Close()
+			os.Remove(r.path)
+		}
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		for _, r := range runs {
+			r.table.Close()
+			os.Remove(r.path)
+		}
+		return nil, err
+	}
+	return runs, nil
+}
+
+// mergeItem is one head-of-run entry in the merge heap.
+type mergeItem struct {
+	row tpch.Row
+	key int64
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// merge k-way merges the runs into out.
+func merge(runs []run, out *pagestore.Table, key Key) error {
+	cursors := make([]*pagestore.Cursor, len(runs))
+	h := &mergeHeap{}
+	for i, r := range runs {
+		cursors[i] = r.table.NewCursor()
+		_, row, ok, err := cursors[i].Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{row: row, key: key(row), src: i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if _, err := out.Append(it.row); err != nil {
+			return err
+		}
+		_, row, ok, err := cursors[it.src].Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{row: row, key: key(row), src: it.src})
+		}
+	}
+	return nil
+}

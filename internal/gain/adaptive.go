@@ -1,0 +1,106 @@
+package gain
+
+import "math"
+
+// AdaptiveFader learns a per-index fading controller D, the future-work
+// direction of §7 ("automatic learning of the index gain fading controller
+// to select proper respective values for each index"). The intuition: D
+// controls how long an index's historical usefulness persists. If the
+// tuner deletes an index and the workload asks for it again shortly after,
+// the history faded too fast — D grows. If an index sits unused long past
+// its last use while still being kept, the history faded too slowly — D
+// shrinks.
+//
+// AdaptiveFader is a decoration over Params: call D(index) to get the
+// per-index controller and feed the tuner's observations through
+// ObserveDeleted / ObserveRequested / ObserveIdle.
+type AdaptiveFader struct {
+	// Base is the starting controller for unseen indexes (quanta).
+	Base float64
+	// Min and Max clamp the learned values.
+	Min, Max float64
+	// GrowFactor (>1) is applied on a premature deletion; ShrinkFactor
+	// (<1) on prolonged idleness.
+	GrowFactor, ShrinkFactor float64
+	// RegretWindow is the number of quanta after a deletion within which a
+	// renewed request counts as premature.
+	RegretWindow float64
+
+	perIndex  map[string]float64
+	deletedAt map[string]float64
+}
+
+// NewAdaptiveFader returns a fader with sensible defaults around base.
+func NewAdaptiveFader(base float64) *AdaptiveFader {
+	if base <= 0 {
+		base = 1
+	}
+	return &AdaptiveFader{
+		Base:         base,
+		Min:          base / 8,
+		Max:          base * 16,
+		GrowFactor:   1.5,
+		ShrinkFactor: 0.8,
+		RegretWindow: 4 * base,
+		perIndex:     make(map[string]float64),
+		deletedAt:    make(map[string]float64),
+	}
+}
+
+// D returns the current controller for the named index.
+func (a *AdaptiveFader) D(index string) float64 {
+	if d, ok := a.perIndex[index]; ok {
+		return d
+	}
+	return a.Base
+}
+
+func (a *AdaptiveFader) set(index string, d float64) {
+	if d < a.Min {
+		d = a.Min
+	}
+	if d > a.Max {
+		d = a.Max
+	}
+	a.perIndex[index] = d
+}
+
+// ObserveDeleted records that the tuner dropped the index at time
+// nowQuanta.
+func (a *AdaptiveFader) ObserveDeleted(index string, nowQuanta float64) {
+	a.deletedAt[index] = nowQuanta
+}
+
+// ObserveRequested records that a dataflow listed the index as useful at
+// time nowQuanta. A request shortly after a deletion means the fading was
+// too aggressive: D grows.
+func (a *AdaptiveFader) ObserveRequested(index string, nowQuanta float64) {
+	if del, ok := a.deletedAt[index]; ok {
+		if nowQuanta-del <= a.RegretWindow {
+			a.set(index, a.D(index)*a.GrowFactor)
+		}
+		delete(a.deletedAt, index)
+	}
+}
+
+// ObserveIdle records that the index has been kept for idleQuanta without
+// any dataflow using it. Idleness far beyond the controller means the
+// fading was too slow: D shrinks.
+func (a *AdaptiveFader) ObserveIdle(index string, idleQuanta float64) {
+	if idleQuanta > 3*a.D(index) {
+		a.set(index, a.D(index)*a.ShrinkFactor)
+	}
+}
+
+// FadeFor returns dc(t) = e^(-t/D_index) with the learned per-index
+// controller.
+func (a *AdaptiveFader) FadeFor(index string, quantaSince float64) float64 {
+	if quantaSince <= 0 {
+		return 1
+	}
+	d := a.D(index)
+	if d <= 0 {
+		return 0
+	}
+	return math.Exp(-quantaSince / d)
+}

@@ -1,0 +1,260 @@
+// Package gain implements the index-usefulness model of §4 of the paper:
+// the time gain gt (Eq. 5), the money gain gm (Eq. 4), the weighted gain g
+// (Eq. 3) with the exponential fading function dc(t) = e^(-t/D), the
+// beneficial test of §5.1 and the two-dimensional ranking of Fig. 4.
+package gain
+
+import (
+	"math"
+	"sort"
+
+	"idxflow/internal/cloud"
+)
+
+// Params are the tuning knobs of the gain model.
+type Params struct {
+	// Alpha is α ∈ [0,1]: how much a time quantum is valued against money.
+	// Table 3 uses 0.5.
+	Alpha float64
+	// FadeD is D, the fading controller in quanta (Table 3 uses 1; the
+	// worked example of Fig. 3 uses 60). Larger D makes historical
+	// dataflows matter longer.
+	FadeD float64
+	// WindowW is W, the history window in quanta: only dataflows executed
+	// within [t-W, t] contribute gain, and storage cost is charged for W
+	// quanta ahead. Zero or negative means unbounded history.
+	WindowW float64
+	// Pricing supplies Mc and Mst.
+	Pricing cloud.Pricing
+}
+
+// DefaultParams returns the Table 3 configuration.
+func DefaultParams() Params {
+	return Params{
+		Alpha:   0.5,
+		FadeD:   1,
+		WindowW: 2,
+		Pricing: cloud.DefaultPricing(),
+	}
+}
+
+// Fade returns dc(t) = e^(-t/D) for t quanta since a dataflow executed
+// (§4). Dataflows currently running or queued use t = 0, i.e. weight 1.
+func (p Params) Fade(quantaSince float64) float64 {
+	if quantaSince <= 0 {
+		return 1
+	}
+	if p.FadeD <= 0 {
+		return 0
+	}
+	return math.Exp(-quantaSince / p.FadeD)
+}
+
+// Record is one historical (or currently running) dataflow's use of an
+// index: the per-dataflow gains gtd and gmd, both in quanta.
+type Record struct {
+	// When is the execution time point of the dataflow in seconds.
+	// A When >= now is treated as running/queued (no fading, always in
+	// window).
+	When float64
+	// TimeGain is gtd(idx, d): the dataflow runtime saved by the index,
+	// in quanta.
+	TimeGain float64
+	// MoneyGain is gmd(idx, d): the monetary saving in quanta of VM time
+	// (it already accounts for the cost of reading the index from the
+	// storage service, §4).
+	MoneyGain float64
+}
+
+// Costs are the per-index cost terms of Eq. 4 and 5.
+type Costs struct {
+	// Name identifies the index.
+	Name string
+	// BuildQuanta is ti(idx): the remaining time to build the index, in
+	// quanta.
+	BuildQuanta float64
+	// BuildMoneyQuanta is mi(idx): the monetary cost of building, in
+	// quanta of VM time.
+	BuildMoneyQuanta float64
+	// SizeMB is the index footprint used for the storage-cost term.
+	SizeMB float64
+}
+
+// History accumulates the per-index records of issued dataflows (the Hd
+// list of §3 restricted to what the gain model needs).
+type History struct {
+	recs map[string][]Record
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{recs: make(map[string][]Record)}
+}
+
+// Add appends a record for the named index.
+func (h *History) Add(index string, r Record) {
+	h.recs[index] = append(h.recs[index], r)
+}
+
+// Records returns the records of the named index (shared slice; do not
+// mutate).
+func (h *History) Records(index string) []Record { return h.recs[index] }
+
+// All returns a deep copy of every index's records, for serialization.
+func (h *History) All() map[string][]Record {
+	out := make(map[string][]Record, len(h.recs))
+	for k, rs := range h.recs {
+		out[k] = append([]Record(nil), rs...)
+	}
+	return out
+}
+
+// Replace overwrites the history with the given records (deep-copied), for
+// restoring a serialized snapshot.
+func (h *History) Replace(recs map[string][]Record) {
+	h.recs = make(map[string][]Record, len(recs))
+	for k, rs := range recs {
+		h.recs[k] = append([]Record(nil), rs...)
+	}
+}
+
+// Prune drops records older than the given time point in seconds, bounding
+// memory for long-running services. Records inside any active window must
+// not be pruned.
+func (h *History) Prune(before float64) {
+	for k, rs := range h.recs {
+		keep := rs[:0]
+		for _, r := range rs {
+			if r.When >= before {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(h.recs, k)
+		} else {
+			h.recs[k] = keep
+		}
+	}
+}
+
+// Evaluator computes index gains from history.
+type Evaluator struct {
+	Params  Params
+	History *History
+	// FadeOverride, when non-nil, replaces Params.Fade with a per-index
+	// fading function — the hook for the learned controller of
+	// AdaptiveFader (§7 future work).
+	FadeOverride func(index string, quantaSince float64) float64
+}
+
+// NewEvaluator returns an evaluator over a fresh history.
+func NewEvaluator(p Params) *Evaluator {
+	return &Evaluator{Params: p, History: NewHistory()}
+}
+
+// fadedSum accumulates Σ δ(d,t)·dc(δT_d)·gain over the index's records.
+func (e *Evaluator) fadedSum(index string, now float64, pick func(Record) float64) float64 {
+	q := e.Params.Pricing.QuantumSeconds
+	var sum float64
+	for _, r := range e.History.Records(index) {
+		sinceQuanta := (now - r.When) / q
+		if sinceQuanta < 0 {
+			sinceQuanta = 0 // running or queued
+		}
+		if e.Params.WindowW > 0 && sinceQuanta > e.Params.WindowW {
+			continue // outside [t-W, t]
+		}
+		if e.FadeOverride != nil {
+			sum += e.FadeOverride(index, sinceQuanta) * pick(r)
+		} else {
+			sum += e.Params.Fade(sinceQuanta) * pick(r)
+		}
+	}
+	return sum
+}
+
+// TimeGain returns gt(idx, t) in quanta (Eq. 5):
+//
+//	gt = Σ δ(d_i,t)·dc(δT)·gtd(idx, d_i) − ti(idx).
+func (e *Evaluator) TimeGain(c Costs, now float64) float64 {
+	return e.fadedSum(c.Name, now, func(r Record) float64 { return r.TimeGain }) - c.BuildQuanta
+}
+
+// MoneyGain returns gm(idx, t) in dollars (Eq. 4):
+//
+//	gm = Σ δ(d_i,t)·dc(δT)·Mc·gmd(idx, d_i) − (Mc·mi(idx) + st(idx, W)).
+func (e *Evaluator) MoneyGain(c Costs, now float64) float64 {
+	mc := e.Params.Pricing.VMPerQuantum
+	sum := e.fadedSum(c.Name, now, func(r Record) float64 { return r.MoneyGain }) * mc
+	w := e.Params.WindowW
+	if w <= 0 {
+		w = 1
+	}
+	storage := e.Params.Pricing.StorageCost(c.SizeMB, w)
+	return sum - (mc*c.BuildMoneyQuanta + storage)
+}
+
+// Gain returns the weighted gain g(idx, t) of Eq. 3:
+//
+//	g = α·Mc·gt(idx, t) + (1−α)·gm(idx, t).
+func (e *Evaluator) Gain(c Costs, now float64) float64 {
+	mc := e.Params.Pricing.VMPerQuantum
+	return e.Params.Alpha*mc*e.TimeGain(c, now) + (1-e.Params.Alpha)*e.MoneyGain(c, now)
+}
+
+// Beneficial reports whether the index is beneficial at time now: both
+// gt > 0 and gm > 0 (§5.1).
+func (e *Evaluator) Beneficial(c Costs, now float64) bool {
+	return e.TimeGain(c, now) > 0 && e.MoneyGain(c, now) > 0
+}
+
+// Ranked is one index with its gains, as placed in the two-dimensional
+// space of Fig. 4.
+type Ranked struct {
+	Costs     Costs
+	TimeGain  float64
+	MoneyGain float64
+	Gain      float64
+}
+
+// Rank evaluates all candidate indexes at time now, filters to the
+// beneficial ones, and sorts them by descending weighted gain (the
+// rank2Dspace step of Algorithm 1).
+func (e *Evaluator) Rank(candidates []Costs, now float64) []Ranked {
+	var out []Ranked
+	for _, c := range candidates {
+		gt := e.TimeGain(c, now)
+		gm := e.MoneyGain(c, now)
+		if gt <= 0 || gm <= 0 {
+			continue
+		}
+		mc := e.Params.Pricing.VMPerQuantum
+		out = append(out, Ranked{
+			Costs:     c,
+			TimeGain:  gt,
+			MoneyGain: gm,
+			Gain:      e.Params.Alpha*mc*gt + (1-e.Params.Alpha)*gm,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		return out[i].Costs.Name < out[j].Costs.Name
+	})
+	return out
+}
+
+// NonBeneficial returns the names of candidates whose gains are both
+// non-positive at time now — the deletion test of Algorithm 1 (lines
+// 13-19: indexes with gt <= 0 and gm <= 0 are deleted).
+func (e *Evaluator) NonBeneficial(candidates []Costs, now float64) []string {
+	var out []string
+	for _, c := range candidates {
+		if e.TimeGain(c, now) <= 0 && e.MoneyGain(c, now) <= 0 {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package interleave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+	"idxflow/internal/sched"
+)
+
+func opts() sched.Options {
+	return sched.Options{
+		Pricing:       cloud.DefaultPricing(),
+		Spec:          cloud.DefaultSpec(),
+		MaxContainers: 10,
+		MaxSkyline:    8,
+	}
+}
+
+// flowWithBuilds returns a fan-out dataflow plus nBuilds optional build ops.
+func flowWithBuilds(t *testing.T, nMid, nBuilds int, buildSec float64) *dataflow.Graph {
+	t.Helper()
+	g := dataflow.New()
+	src := g.Add(dataflow.Operator{Name: "src", Time: 20})
+	sink := g.Add(dataflow.Operator{Name: "sink", Time: 20})
+	for i := 0; i < nMid; i++ {
+		m := g.Add(dataflow.Operator{Name: "mid", Time: 25})
+		if err := g.Connect(src, m, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(m, sink, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nBuilds; i++ {
+		g.Add(dataflow.Operator{
+			Name: "build", Kind: dataflow.KindBuildIndex,
+			Time: buildSec, Optional: true, Priority: -1,
+		})
+	}
+	return g
+}
+
+func TestIdleRunsMergeAcrossQuanta(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	if _, err := s.PlaceAt(b, 0, 100, -1); err != nil {
+		t.Fatal(err)
+	}
+	runs := IdleRuns(s)
+	// Gap [10,100] crosses a boundary but is one run; tail [110,120].
+	if len(runs) != 2 {
+		t.Fatalf("runs = %v, want 2", runs)
+	}
+	if runs[0].Start != 10 || runs[0].End != 100 {
+		t.Errorf("first run = %+v, want [10,100]", runs[0])
+	}
+	if math.Abs(runs[0].Size()-90) > 1e-9 {
+		t.Errorf("run size = %g, want 90", runs[0].Size())
+	}
+}
+
+func TestLPInterleavePlacesBuilds(t *testing.T) {
+	g := flowWithBuilds(t, 4, 5, 10)
+	lp := &LP{Scheduler: sched.NewSkyline(opts())}
+	skyline := lp.Interleave(g, nil)
+	if len(skyline) == 0 {
+		t.Fatal("empty skyline")
+	}
+	for _, s := range skyline {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	}
+	// At least one schedule should have placed at least one build: the
+	// fan-out forces idle time on the source/sink containers.
+	best := 0
+	for _, s := range skyline {
+		placed := 0
+		for _, id := range g.Ops() {
+			if g.Op(id).Optional {
+				if _, ok := s.Assignment(id); ok {
+					placed++
+				}
+			}
+		}
+		if placed > best {
+			best = placed
+		}
+	}
+	if best == 0 {
+		t.Error("LP interleaving placed no build operators")
+	}
+}
+
+func TestLPInterleaveDoesNotAffectDataflow(t *testing.T) {
+	g := flowWithBuilds(t, 4, 6, 8)
+	sk := sched.NewSkyline(opts())
+	plain := sk.Schedule(g)
+	lp := &LP{Scheduler: sk}
+	packed := lp.Interleave(g, nil)
+	if len(plain) != len(packed) {
+		t.Fatalf("skyline sizes differ: %d vs %d", len(plain), len(packed))
+	}
+	for i := range plain {
+		if math.Abs(plain[i].Makespan()-packed[i].Makespan()) > 1e-9 {
+			t.Errorf("schedule %d: makespan changed %g -> %g", i, plain[i].Makespan(), packed[i].Makespan())
+		}
+		if math.Abs(plain[i].MoneyQuanta()-packed[i].MoneyQuanta()) > 1e-9 {
+			t.Errorf("schedule %d: money changed %g -> %g", i, plain[i].MoneyQuanta(), packed[i].MoneyQuanta())
+		}
+	}
+}
+
+func TestLPPrefersHighGainBuilds(t *testing.T) {
+	// One small slot, two builds of equal size but different gain: the
+	// high-gain one must win.
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 55})
+	hi := g.Add(dataflow.Operator{Name: "hi", Time: 5, Optional: true})
+	lo := g.Add(dataflow.Operator{Name: "lo", Time: 5, Optional: true})
+	_ = a
+	o := opts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1) // busy [0,55], idle [55,60]
+	placed := PackSchedule(s, map[dataflow.OpID]float64{hi: 10, lo: 1})
+	if len(placed) != 1 || placed[0] != hi {
+		t.Errorf("placed = %v, want [hi=%d]", placed, hi)
+	}
+}
+
+func TestOnlineInterleave(t *testing.T) {
+	g := flowWithBuilds(t, 4, 4, 10)
+	on := &Online{Scheduler: sched.NewSkyline(opts())}
+	skyline := on.Interleave(g, nil)
+	if len(skyline) == 0 {
+		t.Fatal("empty skyline")
+	}
+	for _, s := range skyline {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	}
+}
+
+func TestLPSchedulesAtLeastAsManyAsOnline(t *testing.T) {
+	// The headline observation of Fig. 8: LP schedules significantly more
+	// build operators because it sees all the fragmentation up front.
+	g := flowWithBuilds(t, 6, 10, 12)
+	sk := sched.NewSkyline(opts())
+	countMax := func(skyline []*sched.Schedule) int {
+		best := 0
+		for _, s := range skyline {
+			n := 0
+			for _, id := range g.Ops() {
+				if g.Op(id).Optional {
+					if _, ok := s.Assignment(id); ok {
+						n++
+					}
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	lpN := countMax((&LP{Scheduler: sk}).Interleave(g, nil))
+	onN := countMax((&Online{Scheduler: sk}).Interleave(g, nil))
+	if lpN < onN {
+		t.Errorf("LP placed %d builds, online placed %d; want LP >= online", lpN, onN)
+	}
+	if lpN == 0 {
+		t.Error("LP placed nothing")
+	}
+}
+
+func TestRandomInterleaveValid(t *testing.T) {
+	g := flowWithBuilds(t, 4, 6, 10)
+	r := &Random{
+		Scheduler: sched.NewSkyline(opts()),
+		Rng:       rand.New(rand.NewSource(42)),
+	}
+	skyline := r.Interleave(g, nil)
+	for _, s := range skyline {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+		if math.IsInf(s.Makespan(), 0) {
+			t.Error("broken makespan")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchItems(n int, seed int64, equalDensity bool) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		size := 0.02 + rng.Float64()*0.2
+		gain := size
+		if !equalDensity {
+			gain = rng.Float64() * 0.3
+		}
+		items[i] = Item{ID: i, Size: size, Gain: gain}
+	}
+	return items
+}
+
+func BenchmarkSolve30(b *testing.B) {
+	items := benchItems(30, 1, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(1.5, items)
+	}
+}
+
+// BenchmarkSolve200EqualDensity is the hard case: gain proportional to size
+// degrades LP-bound pruning; the node budget keeps it bounded.
+func BenchmarkSolve200EqualDensity(b *testing.B) {
+	items := benchItems(200, 1, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(6, items)
+	}
+}
+
+func BenchmarkSolvePerSlot(b *testing.B) {
+	items := benchItems(60, 1, false)
+	slots := []float64{0.6, 0.5, 0.45, 0.4, 0.3, 0.25, 0.2, 0.15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolvePerSlot(slots, items)
+	}
+}
+
+func BenchmarkGraham(b *testing.B) {
+	items := benchItems(60, 1, false)
+	slots := []float64{0.6, 0.5, 0.45, 0.4, 0.3, 0.25, 0.2, 0.15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Graham(slots, items)
+	}
+}

@@ -1,0 +1,198 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	sol := Solve(10, nil)
+	if len(sol.Chosen) != 0 || sol.Gain != 0 {
+		t.Errorf("empty solve = %+v", sol)
+	}
+}
+
+func TestSolveTakesEverythingThatFits(t *testing.T) {
+	items := []Item{{ID: 1, Size: 2, Gain: 5}, {ID: 2, Size: 3, Gain: 4}}
+	sol := Solve(10, items)
+	if len(sol.Chosen) != 2 || math.Abs(sol.Gain-9) > 1e-12 {
+		t.Errorf("sol = %+v, want both items, gain 9", sol)
+	}
+}
+
+func TestSolveClassic(t *testing.T) {
+	// A case where greedy-by-density fails: density order picks 6/5, but
+	// optimum is 4+4 = 8 gain.
+	items := []Item{
+		{ID: 1, Size: 5, Gain: 6},
+		{ID: 2, Size: 4, Gain: 4},
+		{ID: 3, Size: 4, Gain: 4},
+	}
+	sol := Solve(8, items)
+	if math.Abs(sol.Gain-8) > 1e-12 {
+		t.Errorf("gain = %g, want 8 (chose %v)", sol.Gain, sol.Chosen)
+	}
+}
+
+func TestSolveSkipsUseless(t *testing.T) {
+	items := []Item{
+		{ID: 1, Size: 20, Gain: 100}, // too big
+		{ID: 2, Size: 1, Gain: -5},   // negative gain
+		{ID: 3, Size: 1, Gain: 0},    // zero gain
+		{ID: 4, Size: 1, Gain: 1},
+	}
+	sol := Solve(10, items)
+	if len(sol.Chosen) != 1 || sol.Chosen[0] != 4 {
+		t.Errorf("Chosen = %v, want [4]", sol.Chosen)
+	}
+}
+
+func TestSolveRespectsCapacity(t *testing.T) {
+	items := []Item{
+		{ID: 1, Size: 6, Gain: 10},
+		{ID: 2, Size: 6, Gain: 10},
+	}
+	sol := Solve(10, items)
+	if len(sol.Chosen) != 1 {
+		t.Errorf("Chosen = %v, want exactly one item", sol.Chosen)
+	}
+	if sol.Used > 10 {
+		t.Errorf("Used = %g > capacity", sol.Used)
+	}
+}
+
+// bruteForce enumerates all subsets (exponential; test-only reference).
+func bruteForce(capacity float64, items []Item) float64 {
+	best := 0.0
+	n := len(items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var size, gain float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size += items[i].Size
+				gain += items[i].Gain
+			}
+		}
+		if size <= capacity && gain > best {
+			best = gain
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				ID:   i,
+				Size: rng.Float64() * 10,
+				Gain: rng.Float64()*10 - 2, // some negatives
+			}
+		}
+		capacity := rng.Float64() * 25
+		sol := Solve(capacity, items)
+		want := bruteForce(capacity, items)
+		if math.Abs(sol.Gain-want) > 1e-9 {
+			t.Logf("seed %d: got %g, want %g", seed, sol.Gain, want)
+			return false
+		}
+		return sol.Used <= capacity+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePerSlotDisjointAndFeasible(t *testing.T) {
+	slots := []float64{5, 10, 3}
+	items := []Item{
+		{ID: 1, Size: 4, Gain: 4}, {ID: 2, Size: 6, Gain: 6},
+		{ID: 3, Size: 3, Gain: 3}, {ID: 4, Size: 9, Gain: 2},
+		{ID: 5, Size: 50, Gain: 50}, // fits nowhere
+	}
+	a := SolvePerSlot(slots, items)
+	seen := make(map[int]bool)
+	for si, ids := range a.PerSlot {
+		var used float64
+		for _, id := range ids {
+			if seen[id] {
+				t.Errorf("item %d assigned twice", id)
+			}
+			seen[id] = true
+			for _, it := range items {
+				if it.ID == id {
+					used += it.Size
+				}
+			}
+		}
+		if used > slots[si]+1e-9 {
+			t.Errorf("slot %d overfilled: %g > %g", si, used, slots[si])
+		}
+	}
+	found := false
+	for _, id := range a.Unassigned {
+		if id == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("oversized item not reported unassigned: %v", a.Unassigned)
+	}
+}
+
+func TestGrahamFeasible(t *testing.T) {
+	slots := []float64{5, 5}
+	items := []Item{
+		{ID: 1, Size: 4, Gain: 4}, {ID: 2, Size: 4, Gain: 4},
+		{ID: 3, Size: 4, Gain: 4},
+	}
+	a := Graham(slots, items)
+	// Only two of the three can fit, one per slot.
+	if math.Abs(a.Gain-8) > 1e-12 {
+		t.Errorf("Graham gain = %g, want 8", a.Gain)
+	}
+	if len(a.Unassigned) != 1 {
+		t.Errorf("Unassigned = %v, want one item", a.Unassigned)
+	}
+}
+
+func TestGrahamSkipsNegativeGain(t *testing.T) {
+	a := Graham([]float64{10}, []Item{{ID: 1, Size: 1, Gain: -1}})
+	if a.Gain != 0 || len(a.PerSlot[0]) != 0 {
+		t.Errorf("Graham packed a negative-gain item: %+v", a)
+	}
+}
+
+// TestOrderingProperty verifies that the merged-slot relaxation really is
+// an upper bound for both heuristics. (Graham <= per-slot LP, the empirical
+// ordering of Fig. 11, is NOT a theorem: optimizing the largest slot first
+// can strand a small slot that Graham would have used, so it is only
+// checked on the paper's concrete input in the experiments package.)
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ns := 1 + rng.Intn(6)
+		slots := make([]float64, ns)
+		for i := range slots {
+			slots[i] = rng.Float64() * 8
+		}
+		n := 1 + rng.Intn(15)
+		items := make([]Item, n)
+		for i := range items {
+			s := rng.Float64() * 4
+			items[i] = Item{ID: i, Size: s, Gain: s} // gain == size, like §6.4
+		}
+		g := Graham(slots, items).Gain
+		lp := SolvePerSlot(slots, items).Gain
+		ub := UpperBound(slots, items)
+		return g <= ub+1e-9 && lp <= ub+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package pagestore
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Pool is a fixed-capacity buffer pool over a page file with LRU
+// replacement and pin counting. Hit/miss statistics make cache behaviour
+// observable in experiments.
+type Pool struct {
+	file   *File
+	frames int
+
+	byID  map[int]*frame
+	order *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type frame struct {
+	id   int
+	page Page
+	pins int
+	el   *list.Element
+}
+
+// NewPool returns a buffer pool of the given number of frames (minimum 1).
+func NewPool(file *File, frames int) *Pool {
+	if frames < 1 {
+		frames = 1
+	}
+	return &Pool{
+		file:   file,
+		frames: frames,
+		byID:   make(map[int]*frame, frames),
+		order:  list.New(),
+	}
+}
+
+// Get pins page id and returns it. Callers must Release it when done.
+func (pl *Pool) Get(id int) (*Page, error) {
+	if fr, ok := pl.byID[id]; ok {
+		pl.hits++
+		fr.pins++
+		pl.order.MoveToFront(fr.el)
+		return &fr.page, nil
+	}
+	pl.misses++
+	if len(pl.byID) >= pl.frames {
+		if err := pl.evict(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id, pins: 1}
+	if err := pl.file.ReadPage(id, &fr.page); err != nil {
+		return nil, err
+	}
+	fr.el = pl.order.PushFront(fr)
+	pl.byID[id] = fr
+	return &fr.page, nil
+}
+
+// Release unpins page id.
+func (pl *Pool) Release(id int) {
+	if fr, ok := pl.byID[id]; ok && fr.pins > 0 {
+		fr.pins--
+	}
+}
+
+// evict drops the least recently used unpinned frame.
+func (pl *Pool) evict() error {
+	for el := pl.order.Back(); el != nil; el = el.Prev() {
+		fr := el.Value.(*frame)
+		if fr.pins == 0 {
+			pl.order.Remove(el)
+			delete(pl.byID, fr.id)
+			return nil
+		}
+	}
+	return fmt.Errorf("pagestore: all %d frames pinned", pl.frames)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (pl *Pool) Stats() (hits, misses int64) { return pl.hits, pl.misses }
+
+// Resident returns how many pages are currently cached.
+func (pl *Pool) Resident() int { return len(pl.byID) }

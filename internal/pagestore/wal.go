@@ -1,0 +1,249 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"idxflow/internal/tpch"
+)
+
+// WAL is a write-ahead log for a page file: page images are logged and
+// fsynced before the page file is touched, so a crash between the log
+// write and the page write is recoverable by replay. Records carry a CRC
+// and a torn tail (partial final record) is truncated on recovery — the
+// standard contract of a physical redo log.
+//
+// Record layout (little endian):
+//
+//	[magic uint32][pageID uint32][crc uint32][page PageSize bytes]
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+const walMagic = 0x1D10F10F
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CreateWAL creates (or truncates) a log at path.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// OpenWAL opens an existing log for replay and further appends.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Log appends a page image for pageID and syncs it to stable storage.
+func (w *WAL) Log(pageID int, p *Page) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(pageID))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(p.Bytes(), crcTable))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(p.Bytes()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// ErrCorrupt reports a log record whose CRC does not match (not a torn
+// tail, which is silently truncated).
+var ErrCorrupt = errors.New("pagestore: corrupt WAL record")
+
+// Replay reads the log from the start and calls apply for every complete,
+// checksum-valid record. A torn final record (short read) ends the replay
+// cleanly; a CRC mismatch in the middle returns ErrCorrupt.
+func (w *WAL) Replay(apply func(pageID int, p *Page) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	var p Page
+	for {
+		if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end or torn header
+			}
+			return err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+			return fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+		pageID := int(binary.LittleEndian.Uint32(hdr[4:]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:])
+		if _, err := io.ReadFull(w.f, p.Bytes()); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // torn body: the crash hit mid-record
+			}
+			return err
+		}
+		if crc32.Checksum(p.Bytes(), crcTable) != wantCRC {
+			return fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, pageID)
+		}
+		if err := apply(pageID, &p); err != nil {
+			return err
+		}
+	}
+}
+
+// Truncate discards the log contents (after a checkpoint: the page file is
+// durable, so the log is no longer needed).
+func (w *WAL) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// LoggedTable wraps a Table so every flushed page is WAL-logged first.
+// Recover applies any logged pages that did not reach the page file.
+type LoggedTable struct {
+	*Table
+	wal      *WAL
+	pagePath string
+}
+
+// CreateLoggedTable creates a table whose page writes go through a WAL at
+// pagePath+".wal".
+func CreateLoggedTable(pagePath string, poolFrames int) (*LoggedTable, error) {
+	t, err := CreateTable(pagePath, poolFrames)
+	if err != nil {
+		return nil, err
+	}
+	w, err := CreateWAL(pagePath + ".wal")
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	return &LoggedTable{Table: t, wal: w, pagePath: pagePath}, nil
+}
+
+// Flush logs the current write page before handing it to the page file.
+func (lt *LoggedTable) Flush() error {
+	if !lt.Table.curUsed {
+		return nil
+	}
+	if err := lt.wal.Log(lt.Table.file.Pages(), &lt.Table.cur); err != nil {
+		return err
+	}
+	return lt.Table.Flush()
+}
+
+// Append mirrors Table.Append but logs full pages before they are flushed.
+func (lt *LoggedTable) Append(r tpch.Row) (RID, error) {
+	rec := EncodeRow(r)
+	slot, ok := lt.Table.cur.Insert(rec)
+	if !ok {
+		if err := lt.Flush(); err != nil {
+			return RID{}, err
+		}
+		slot, ok = lt.Table.cur.Insert(rec)
+		if !ok {
+			return RID{}, fmt.Errorf("pagestore: row of %d bytes exceeds page capacity", len(rec))
+		}
+	}
+	lt.Table.curUsed = true
+	lt.Table.rows++
+	return RID{Page: int32(lt.Table.file.Pages()), Slot: int32(slot)}, nil
+}
+
+// Checkpoint makes the page file durable and truncates the log.
+func (lt *LoggedTable) Checkpoint() error {
+	if err := lt.Flush(); err != nil {
+		return err
+	}
+	if err := lt.Table.file.Sync(); err != nil {
+		return err
+	}
+	return lt.wal.Truncate()
+}
+
+// Close closes both files.
+func (lt *LoggedTable) Close() error {
+	werr := lt.wal.Close()
+	terr := lt.Table.Close()
+	if werr != nil {
+		return werr
+	}
+	return terr
+}
+
+// RecoverTable opens a page file and replays its WAL: logged pages missing
+// from (or newer than) the page file are re-applied. It returns the
+// recovered row count by scanning.
+func RecoverTable(pagePath string, poolFrames int) (*Table, error) {
+	// Open the page file loosely: it may be shorter than the log.
+	f, err := os.OpenFile(pagePath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn final page.
+	whole := st.Size() / PageSize
+	if err := f.Truncate(whole * PageSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	pf := &File{f: f, pages: int(whole)}
+
+	w, err := OpenWAL(pagePath + ".wal")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer w.Close()
+	err = w.Replay(func(pageID int, p *Page) error {
+		switch {
+		case pageID < pf.pages:
+			return pf.WritePage(pageID, p)
+		case pageID == pf.pages:
+			_, err := pf.Append(p)
+			return err
+		default:
+			return fmt.Errorf("pagestore: WAL page %d beyond file end %d", pageID, pf.pages)
+		}
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := pf.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	t := &Table{file: pf, pool: NewPool(pf, poolFrames)}
+	t.cur.Reset()
+	// Recount rows.
+	if err := t.Scan(func(RID, tpch.Row) bool { t.rows++; return true }); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,486 @@
+// Package sched implements execution schedules for dataflow graphs on
+// quantum-priced cloud containers, the skyline (Pareto) dataflow scheduler
+// of Algorithm 4, the online interleaving variant with optional operators
+// (§5.3.2), and the online load-balance baseline scheduler used in §6.3.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+)
+
+// Assignment places one operator on a container for a time interval.
+type Assignment struct {
+	Op        dataflow.OpID
+	Container int
+	Start     float64 // seconds from schedule origin
+	End       float64
+}
+
+// Slot is an idle period inside a leased quantum of a container:
+// f(id, q, c, Sd) of §3. Slots never span quantum boundaries.
+type Slot struct {
+	Container int
+	Quantum   int // quantum index within the container's lease
+	Start     float64
+	End       float64
+}
+
+// Size returns the slot length in seconds.
+func (s Slot) Size() float64 { return s.End - s.Start }
+
+// Schedule is a (possibly partial) assignment of a graph's operators to
+// containers. Containers are leased from the schedule origin (t = 0) until
+// the end of the quantum containing their last operator, matching Fig. 2 of
+// the paper where every used VM is charged from quantum 0.
+type Schedule struct {
+	Graph   *dataflow.Graph
+	Pricing cloud.Pricing
+	Spec    cloud.Spec
+	// Types, when non-empty, enables the heterogeneous-pool extension:
+	// every container carries a type index into this slice; Spec and
+	// Pricing.VMPerQuantum describe type 0 semantics when Types is empty.
+	Types []cloud.VMType
+
+	assign map[dataflow.OpID]Assignment
+	// conts[c] lists the ops on container c ordered by start time.
+	conts [][]dataflow.OpID
+	// contType[c] is the index into Types of container c (0 if untyped).
+	contType []int
+}
+
+// NewSchedule returns an empty schedule for g.
+func NewSchedule(g *dataflow.Graph, pricing cloud.Pricing, spec cloud.Spec) *Schedule {
+	return &Schedule{
+		Graph:   g,
+		Pricing: pricing,
+		Spec:    spec,
+		assign:  make(map[dataflow.OpID]Assignment),
+	}
+}
+
+// ContainerType returns the VM type of container c. With no Types
+// configured it synthesizes the homogeneous default from Spec and Pricing.
+func (s *Schedule) ContainerType(c int) cloud.VMType {
+	if len(s.Types) == 0 {
+		return cloud.VMType{Name: "default", Spec: s.Spec, PricePerQuantum: s.Pricing.VMPerQuantum, SpeedFactor: 1}
+	}
+	ti := 0
+	if c < len(s.contType) {
+		ti = s.contType[c]
+	}
+	if ti < 0 || ti >= len(s.Types) {
+		ti = 0
+	}
+	return s.Types[ti]
+}
+
+// SetContainerType fixes the type of container c before (or at) its first
+// use. Retyping a container that already holds operators is an error: its
+// assignments were computed under the old speed.
+func (s *Schedule) SetContainerType(c, typeIdx int) error {
+	if len(s.Types) == 0 {
+		return fmt.Errorf("sched: schedule has no type pool")
+	}
+	if typeIdx < 0 || typeIdx >= len(s.Types) {
+		return fmt.Errorf("sched: type %d out of range", typeIdx)
+	}
+	s.ensureContainer(c)
+	if len(s.conts[c]) > 0 && s.contType[c] != typeIdx {
+		return fmt.Errorf("sched: container %d already in use", c)
+	}
+	s.contType[c] = typeIdx
+	return nil
+}
+
+// Clone returns a deep copy sharing the immutable graph.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		Graph:    s.Graph,
+		Pricing:  s.Pricing,
+		Spec:     s.Spec,
+		Types:    s.Types,
+		assign:   make(map[dataflow.OpID]Assignment, len(s.assign)),
+		conts:    make([][]dataflow.OpID, len(s.conts)),
+		contType: append([]int(nil), s.contType...),
+	}
+	for k, v := range s.assign {
+		c.assign[k] = v
+	}
+	for i, ops := range s.conts {
+		c.conts[i] = append([]dataflow.OpID(nil), ops...)
+	}
+	return c
+}
+
+// Assignment returns the placement of op and whether it is assigned.
+func (s *Schedule) Assignment(op dataflow.OpID) (Assignment, bool) {
+	a, ok := s.assign[op]
+	return a, ok
+}
+
+// Assigned returns the number of assigned operators.
+func (s *Schedule) Assigned() int { return len(s.assign) }
+
+// Containers returns the number of containers that hold at least one op.
+func (s *Schedule) Containers() int {
+	n := 0
+	for _, ops := range s.conts {
+		if len(ops) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumSlots returns len(s.conts): the highest container index ever used + 1.
+func (s *Schedule) NumSlots() int { return len(s.conts) }
+
+// ReadyTime returns the earliest time op can start on container c given its
+// predecessors' finish times and inter-container transfer costs
+// (edge size / network bandwidth when the producer sits elsewhere).
+// It returns an error if a predecessor is unassigned.
+func (s *Schedule) ReadyTime(op dataflow.OpID, c int) (float64, error) {
+	var ready float64
+	for _, e := range s.Graph.In(op) {
+		pa, ok := s.assign[e.From]
+		if !ok {
+			return 0, fmt.Errorf("sched: predecessor %d of %d unassigned", e.From, op)
+		}
+		t := pa.End
+		if pa.Container != c {
+			// The receiving container's network link paces the transfer.
+			t += s.ContainerType(c).Spec.TransferSeconds(e.Size)
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready, nil
+}
+
+// lastEnd returns the finish time of the last op on container c (0 if none).
+func (s *Schedule) lastEnd(c int) float64 {
+	if c >= len(s.conts) || len(s.conts[c]) == 0 {
+		return 0
+	}
+	last := s.conts[c][len(s.conts[c])-1]
+	return s.assign[last].End
+}
+
+// ensureContainer grows the container list to include index c.
+func (s *Schedule) ensureContainer(c int) {
+	for len(s.conts) <= c {
+		s.conts = append(s.conts, nil)
+		s.contType = append(s.contType, 0)
+	}
+}
+
+// Append assigns op to container c at the earliest feasible time after the
+// container's current last operator (list scheduling). duration overrides
+// the operator's estimated Time when >= 0.
+//
+// A non-optional (dataflow) operator ignores optional index-build operators
+// when computing its start — at runtime priority -1 builds are preempted by
+// dataflow operators (§6.1) — and any optional operators its interval
+// overlaps are evicted from the schedule.
+func (s *Schedule) Append(op dataflow.OpID, c int, duration float64) (Assignment, error) {
+	if _, dup := s.assign[op]; dup {
+		return Assignment{}, fmt.Errorf("sched: op %d already assigned", op)
+	}
+	o := s.Graph.Op(op)
+	if o == nil {
+		return Assignment{}, fmt.Errorf("sched: unknown op %d", op)
+	}
+	s.ensureContainer(c)
+	if duration < 0 {
+		duration = o.Time / s.ContainerType(c).SpeedFactor
+	}
+	ready, err := s.ReadyTime(op, c)
+	if err != nil {
+		return Assignment{}, err
+	}
+	tail := s.lastEnd(c)
+	if !o.Optional {
+		tail = 0
+		for _, id := range s.conts[c] {
+			if !s.Graph.Op(id).Optional {
+				if e := s.assign[id].End; e > tail {
+					tail = e
+				}
+			}
+		}
+	}
+	start := math.Max(ready, tail)
+	end := start + duration
+	if !o.Optional {
+		// Evict optional ops this interval would preempt.
+		kept := s.conts[c][:0]
+		for _, id := range s.conts[c] {
+			a := s.assign[id]
+			if s.Graph.Op(id).Optional && a.End > start+1e-9 && a.Start < end-1e-9 {
+				delete(s.assign, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.conts[c] = kept
+	}
+	a := Assignment{Op: op, Container: c, Start: start, End: end}
+	s.assign[op] = a
+	// Keep the container's op list ordered by start time: evictions and
+	// preemption-aware starts can place the new op before a later optional
+	// op.
+	ops := s.conts[c]
+	pos := sort.Search(len(ops), func(i int) bool { return s.assign[ops[i]].Start >= start })
+	s.conts[c] = append(ops, 0)
+	copy(s.conts[c][pos+1:], s.conts[c][pos:])
+	s.conts[c][pos] = op
+	return a, nil
+}
+
+// PlaceAt assigns op to container c at exactly the given start time,
+// provided the interval does not overlap existing ops and respects the
+// op's predecessors. Used to drop index-build operators into idle slots.
+func (s *Schedule) PlaceAt(op dataflow.OpID, c int, start, duration float64) (Assignment, error) {
+	if _, dup := s.assign[op]; dup {
+		return Assignment{}, fmt.Errorf("sched: op %d already assigned", op)
+	}
+	o := s.Graph.Op(op)
+	if o == nil {
+		return Assignment{}, fmt.Errorf("sched: unknown op %d", op)
+	}
+	s.ensureContainer(c)
+	if duration < 0 {
+		duration = o.Time / s.ContainerType(c).SpeedFactor
+	}
+	ready, err := s.ReadyTime(op, c)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if start+1e-9 < ready {
+		return Assignment{}, fmt.Errorf("sched: op %d cannot start at %g before ready time %g", op, start, ready)
+	}
+	end := start + duration
+	// Find the insertion point and check for overlap.
+	ops := s.conts[c]
+	pos := sort.Search(len(ops), func(i int) bool { return s.assign[ops[i]].Start >= start })
+	if pos > 0 && s.assign[ops[pos-1]].End > start+1e-9 {
+		return Assignment{}, fmt.Errorf("sched: op %d overlaps predecessor interval on container %d", op, c)
+	}
+	if pos < len(ops) && s.assign[ops[pos]].Start < end-1e-9 {
+		return Assignment{}, fmt.Errorf("sched: op %d overlaps successor interval on container %d", op, c)
+	}
+	a := Assignment{Op: op, Container: c, Start: start, End: end}
+	s.assign[op] = a
+	s.conts[c] = append(ops, 0)
+	copy(s.conts[c][pos+1:], s.conts[c][pos:])
+	s.conts[c][pos] = op
+	return a, nil
+}
+
+// Makespan returns td(Sd): the time from the first non-optional operator's
+// start to the last non-optional operator's finish (§3). Optional
+// index-build operators do not count: they must not affect the dataflow.
+// For schedules containing only optional ops, all ops count.
+func (s *Schedule) Makespan() float64 {
+	first, last := math.Inf(1), 0.0
+	any := false
+	for id, a := range s.assign {
+		if s.Graph.Op(id).Optional {
+			continue
+		}
+		any = true
+		if a.Start < first {
+			first = a.Start
+		}
+		if a.End > last {
+			last = a.End
+		}
+	}
+	if !any {
+		return s.TotalSpan()
+	}
+	return last - first
+}
+
+// TotalSpan returns the time from origin to the last assigned op's finish,
+// counting optional ops too.
+func (s *Schedule) TotalSpan() float64 {
+	var last float64
+	for _, a := range s.assign {
+		if a.End > last {
+			last = a.End
+		}
+	}
+	return last
+}
+
+// leaseEndQuanta returns the number of leased quanta for container c, which
+// covers its last operator.
+func (s *Schedule) leaseEndQuanta(c int) int {
+	return s.Pricing.Quanta(s.lastEnd(c))
+}
+
+// MoneyQuanta returns md(Sd) in baseline-price quanta: the sum over used
+// containers of the leased quanta, weighted by each container type's price
+// relative to the baseline VM price (§3 measures monetary cost in quanta so
+// time and money share a unit; in a heterogeneous pool a quantum of a
+// pricier type counts proportionally more).
+func (s *Schedule) MoneyQuanta() float64 {
+	var total float64
+	for c := range s.conts {
+		if len(s.conts[c]) > 0 {
+			w := 1.0
+			if len(s.Types) > 0 && s.Pricing.VMPerQuantum > 0 {
+				w = s.ContainerType(c).PricePerQuantum / s.Pricing.VMPerQuantum
+			}
+			total += float64(s.leaseEndQuanta(c)) * w
+		}
+	}
+	return total
+}
+
+// Money returns the monetary cost in dollars.
+func (s *Schedule) Money() float64 {
+	var total float64
+	for c := range s.conts {
+		if len(s.conts[c]) > 0 {
+			total += float64(s.leaseEndQuanta(c)) * s.ContainerType(c).PricePerQuantum
+		}
+	}
+	return total
+}
+
+// IdleSlots returns every idle period inside the leased quanta, clipped at
+// quantum boundaries (the fragmentation of the schedule, §3), sorted by
+// container then start time.
+func (s *Schedule) IdleSlots() []Slot {
+	var out []Slot
+	q := s.Pricing.QuantumSeconds
+	for c := range s.conts {
+		if len(s.conts[c]) == 0 {
+			continue
+		}
+		leaseEnd := float64(s.leaseEndQuanta(c)) * q
+		// Build the busy intervals and walk the gaps.
+		cursor := 0.0
+		emit := func(from, to float64) {
+			for from < to-1e-9 {
+				qi := int(from / q)
+				qEnd := math.Min(float64(qi+1)*q, to)
+				if qEnd-from > 1e-9 {
+					out = append(out, Slot{Container: c, Quantum: qi, Start: from, End: qEnd})
+				}
+				from = qEnd
+			}
+		}
+		for _, id := range s.conts[c] {
+			a := s.assign[id]
+			if a.Start > cursor {
+				emit(cursor, a.Start)
+			}
+			if a.End > cursor {
+				cursor = a.End
+			}
+		}
+		if cursor < leaseEnd {
+			emit(cursor, leaseEnd)
+		}
+	}
+	return out
+}
+
+// Fragmentation returns the total idle time in seconds across all leased
+// quanta: compute time that is paid for but unused.
+func (s *Schedule) Fragmentation() float64 {
+	var total float64
+	for _, slot := range s.IdleSlots() {
+		total += slot.Size()
+	}
+	return total
+}
+
+// MaxSequentialIdle returns the longest contiguous idle period (crossing
+// quantum boundaries) on any container — the tie-break of §5.3.1: among
+// schedules with equal time and money the one with the most sequential idle
+// compute time is preferred, because index-build operators fit there.
+func (s *Schedule) MaxSequentialIdle() float64 {
+	slots := s.IdleSlots()
+	var best, run float64
+	var prev *Slot
+	for i := range slots {
+		sl := slots[i]
+		if prev != nil && prev.Container == sl.Container && math.Abs(prev.End-sl.Start) < 1e-9 {
+			run += sl.Size()
+		} else {
+			run = sl.Size()
+		}
+		if run > best {
+			best = run
+		}
+		prev = &slots[i]
+	}
+	return best
+}
+
+// Validate checks that assignments respect dependency and transfer
+// constraints, that no two ops overlap on a container, and that every
+// assigned op's interval is consistent.
+func (s *Schedule) Validate() error {
+	for c, ops := range s.conts {
+		for i, id := range ops {
+			a := s.assign[id]
+			if a.Container != c {
+				return fmt.Errorf("sched: op %d listed on container %d but assigned to %d", id, c, a.Container)
+			}
+			if a.End < a.Start {
+				return fmt.Errorf("sched: op %d has negative duration", id)
+			}
+			if i > 0 {
+				prev := s.assign[ops[i-1]]
+				if prev.End > a.Start+1e-9 {
+					return fmt.Errorf("sched: ops %d and %d overlap on container %d", ops[i-1], id, c)
+				}
+			}
+		}
+	}
+	for id, a := range s.assign {
+		for _, e := range s.Graph.In(id) {
+			pa, ok := s.assign[e.From]
+			if !ok {
+				continue // partial schedule
+			}
+			min := pa.End
+			if pa.Container != a.Container {
+				min += s.ContainerType(a.Container).Spec.TransferSeconds(e.Size)
+			}
+			if a.Start+1e-6 < min {
+				return fmt.Errorf("sched: op %d starts at %g before dependency-ready time %g", id, a.Start, min)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignments returns all assignments sorted by container then start.
+func (s *Schedule) Assignments() []Assignment {
+	out := make([]Assignment, 0, len(s.assign))
+	for _, a := range s.assign {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Container != out[j].Container {
+			return out[i].Container < out[j].Container
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+)
+
+func testOpts() Options {
+	return Options{
+		Pricing:       cloud.DefaultPricing(),
+		Spec:          cloud.DefaultSpec(),
+		MaxContainers: 10,
+		MaxSkyline:    8,
+	}
+}
+
+// chain builds a linear 3-op flow a(10s) -> b(20s) -> c(5s) with small edges.
+func chain(t *testing.T) (*dataflow.Graph, [3]dataflow.OpID) {
+	t.Helper()
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 20})
+	c := g.Add(dataflow.Operator{Name: "c", Time: 5})
+	if err := g.Connect(a, b, 125); err != nil { // 1 s transfer at 125 MB/s
+		t.Fatal(err)
+	}
+	if err := g.Connect(b, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	return g, [3]dataflow.OpID{a, b, c}
+}
+
+func TestAppendSequencesOps(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	a1, err := s.Append(ids[0], 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Start != 0 || a1.End != 10 {
+		t.Errorf("first op interval = [%g,%g], want [0,10]", a1.Start, a1.End)
+	}
+	// Same container: no transfer delay.
+	a2, err := s.Append(ids[1], 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Start != 10 || a2.End != 30 {
+		t.Errorf("second op interval = [%g,%g], want [10,30]", a2.Start, a2.End)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAppendAddsTransferDelayAcrossContainers(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1)
+	a2, err := s.Append(ids[1], 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 125 MB at 125 MB/s = 1 s delay.
+	if math.Abs(a2.Start-11) > 1e-9 {
+		t.Errorf("cross-container start = %g, want 11", a2.Start)
+	}
+}
+
+func TestAppendRejectsDuplicatesAndUnknown(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1)
+	if _, err := s.Append(ids[0], 1, -1); err == nil {
+		t.Error("duplicate Append accepted")
+	}
+	if _, err := s.Append(999, 0, -1); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// Unassigned predecessor.
+	if _, err := s.Append(ids[2], 0, -1); err == nil {
+		t.Error("Append with unassigned predecessor accepted")
+	}
+}
+
+func TestMakespanAndMoney(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1)
+	s.Append(ids[1], 0, -1)
+	s.Append(ids[2], 0, -1)
+	if got := s.Makespan(); got != 35 {
+		t.Errorf("Makespan = %g, want 35", got)
+	}
+	// 35 s on one container = 1 quantum.
+	if got := s.MoneyQuanta(); got != 1 {
+		t.Errorf("MoneyQuanta = %g, want 1", got)
+	}
+	if got := s.Money(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Money = %g, want 0.1", got)
+	}
+	if got := s.Containers(); got != 1 {
+		t.Errorf("Containers = %d, want 1", got)
+	}
+}
+
+func TestIdleSlotsAndFragmentation(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1) // [0,10] on c0
+	s.Append(ids[1], 1, -1) // [11,31] on c1 (1 s transfer)
+	s.Append(ids[2], 1, -1) // [31,36] on c1
+	// c0: busy [0,10], lease 1 quantum -> idle [10,60] = 50.
+	// c1: busy [11,36], lease 1 quantum -> idle [0,11] + [36,60] = 35.
+	if got := s.Fragmentation(); math.Abs(got-85) > 1e-9 {
+		t.Errorf("Fragmentation = %g, want 85", got)
+	}
+	slots := s.IdleSlots()
+	if len(slots) != 3 {
+		t.Fatalf("got %d slots (%v), want 3", len(slots), slots)
+	}
+	for _, sl := range slots {
+		if sl.Size() <= 0 {
+			t.Errorf("empty slot %+v", sl)
+		}
+		if sl.End > float64(sl.Quantum+1)*o.Pricing.QuantumSeconds+1e-9 ||
+			sl.Start < float64(sl.Quantum)*o.Pricing.QuantumSeconds-1e-9 {
+			t.Errorf("slot %+v crosses its quantum", sl)
+		}
+	}
+	if got := s.MaxSequentialIdle(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("MaxSequentialIdle = %g, want 50", got)
+	}
+}
+
+func TestIdleSlotsClipAtQuantumBoundaries(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	// Place b far into the future on the same container via a stretched
+	// duration op: simulate by placing at 100 with PlaceAt.
+	if _, err := s.PlaceAt(b, 0, 100, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Idle [10,100] crosses the quantum boundary at 60: expect two slots
+	// [10,60],[60,100], plus tail [110,120].
+	slots := s.IdleSlots()
+	if len(slots) != 3 {
+		t.Fatalf("slots = %v, want 3", slots)
+	}
+	if slots[0].Start != 10 || slots[0].End != 60 || slots[1].Start != 60 || slots[1].End != 100 {
+		t.Errorf("slots = %v", slots)
+	}
+	// Max sequential idle merges across the boundary: 90 s.
+	if got := s.MaxSequentialIdle(); math.Abs(got-90) > 1e-9 {
+		t.Errorf("MaxSequentialIdle = %g, want 90", got)
+	}
+}
+
+func TestPlaceAtRejectsOverlap(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 30})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10})
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1) // [0,30]
+	if _, err := s.PlaceAt(b, 0, 20, -1); err == nil {
+		t.Error("overlapping PlaceAt accepted")
+	}
+	if _, err := s.PlaceAt(b, 0, 30, -1); err != nil {
+		t.Errorf("adjacent PlaceAt rejected: %v", err)
+	}
+}
+
+func TestPlaceAtRespectsDependencies(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1) // ends 10
+	if _, err := s.PlaceAt(ids[1], 1, 5, -1); err == nil {
+		t.Error("PlaceAt before dependency-ready time accepted")
+	}
+	if _, err := s.PlaceAt(ids[1], 1, 11, -1); err != nil {
+		t.Errorf("feasible PlaceAt rejected: %v", err)
+	}
+}
+
+func TestMakespanIgnoresOptionalOps(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	bi := g.Add(dataflow.Operator{Name: "build", Time: 40, Optional: true, Priority: -1})
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	if _, err := s.PlaceAt(bi, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 10 {
+		t.Errorf("Makespan with optional op = %g, want 10", got)
+	}
+	if got := s.TotalSpan(); got != 50 {
+		t.Errorf("TotalSpan = %g, want 50", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, ids := chain(t)
+	o := testOpts()
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(ids[0], 0, -1)
+	c := s.Clone()
+	c.Append(ids[1], 0, -1)
+	if s.Assigned() != 1 || c.Assigned() != 2 {
+		t.Errorf("Assigned: orig=%d clone=%d, want 1,2", s.Assigned(), c.Assigned())
+	}
+}

@@ -1,0 +1,361 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+)
+
+// Options configures the schedulers.
+type Options struct {
+	Pricing cloud.Pricing
+	Spec    cloud.Spec
+	// MaxContainers is C, the largest number of containers a schedule may
+	// use (Table 3: 100).
+	MaxContainers int
+	// MaxSkyline caps the number of partial schedules kept between
+	// iterations; 0 means unlimited. Pruning keeps the fastest and the
+	// cheapest ends of the frontier and evenly spaced points between.
+	MaxSkyline int
+	// Types, when non-empty, enables the heterogeneous-pool extension:
+	// each fresh container may be leased as any of these VM types, and
+	// the skyline explores the choices (§3: "the scheduler can consider
+	// slots at different VM types").
+	Types []cloud.VMType
+}
+
+// DefaultOptions returns the Table 3 experiment configuration with a
+// practical skyline cap.
+func DefaultOptions() Options {
+	return Options{
+		Pricing:       cloud.DefaultPricing(),
+		Spec:          cloud.DefaultSpec(),
+		MaxContainers: 100,
+		MaxSkyline:    16,
+	}
+}
+
+// point is the bi-objective value of a schedule used for domination.
+type point struct {
+	time, money float64
+	// ops counts assigned operators: the §5.3.2 tie-break prefers more
+	// (optional) operators at equal time and money.
+	ops int
+	// seqIdle is the §5.3.1 tie-break: most sequential idle time.
+	seqIdle float64
+}
+
+func (s *Schedule) point() point {
+	return point{
+		time:    s.Makespan(),
+		money:   s.MoneyQuanta(),
+		ops:     s.Assigned(),
+		seqIdle: -1, // computed lazily only when needed for tie-breaks
+	}
+}
+
+const eps = 1e-9
+
+// dominates reports whether a is at least as good as b on both objectives
+// and strictly better on one.
+func dominates(a, b point) bool {
+	if a.time > b.time+eps || a.money > b.money+eps {
+		return false
+	}
+	return a.time < b.time-eps || a.money < b.money-eps
+}
+
+// equalObjectives reports whether two points coincide on both objectives.
+func equalObjectives(a, b point) bool {
+	return math.Abs(a.time-b.time) <= eps && math.Abs(a.money-b.money) <= eps
+}
+
+// candidate pairs a schedule with its cached objective point.
+type candidate struct {
+	s *Schedule
+	p point
+}
+
+// pareto filters candidates down to the non-dominated frontier. Among
+// candidates with equal objectives one survivor is kept, chosen by prefer
+// (return true if a should beat b).
+func pareto(cands []candidate, prefer func(a, b *candidate) bool) []candidate {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].p.time != cands[j].p.time {
+			return cands[i].p.time < cands[j].p.time
+		}
+		return cands[i].p.money < cands[j].p.money
+	})
+	var out []candidate
+	bestMoney := math.Inf(1)
+	for i := 0; i < len(cands); i++ {
+		c := cands[i]
+		if c.p.money >= bestMoney-eps && !(len(out) > 0 && equalObjectives(out[len(out)-1].p, c.p)) {
+			continue // dominated by an earlier (faster or equal) candidate
+		}
+		if len(out) > 0 && equalObjectives(out[len(out)-1].p, c.p) {
+			if prefer != nil && prefer(&c, &out[len(out)-1]) {
+				out[len(out)-1] = c
+			}
+			continue
+		}
+		out = append(out, c)
+		if c.p.money < bestMoney {
+			bestMoney = c.p.money
+		}
+	}
+	return out
+}
+
+// prune caps the frontier at max points, always keeping the two endpoints
+// (fastest and cheapest) and evenly spaced interior points.
+func prune(cands []candidate, max int) []candidate {
+	if max <= 0 || len(cands) <= max {
+		return cands
+	}
+	out := make([]candidate, 0, max)
+	step := float64(len(cands)-1) / float64(max-1)
+	prev := -1
+	for i := 0; i < max; i++ {
+		idx := int(math.Round(float64(i) * step))
+		if idx == prev {
+			continue
+		}
+		prev = idx
+		out = append(out, cands[idx])
+	}
+	return out
+}
+
+// preferSeqIdle is the §5.3.1 tie-break: among equal schedules keep the one
+// with the most sequential idle time.
+func preferSeqIdle(a, b *candidate) bool {
+	if a.p.seqIdle < 0 {
+		a.p.seqIdle = a.s.MaxSequentialIdle()
+	}
+	if b.p.seqIdle < 0 {
+		b.p.seqIdle = b.s.MaxSequentialIdle()
+	}
+	return a.p.seqIdle > b.p.seqIdle
+}
+
+// preferMoreOps is the §5.3.2 tie-break: among equal schedules keep the one
+// with more (optional) operators assigned.
+func preferMoreOps(a, b *candidate) bool {
+	if a.p.ops != b.p.ops {
+		return a.p.ops > b.p.ops
+	}
+	return preferSeqIdle(a, b)
+}
+
+// Skyline is the skyline dataflow scheduler of Algorithm 4: an iterative
+// list scheduler that grows a Pareto frontier of partial schedules over the
+// time and money objectives.
+type Skyline struct {
+	Opts Options
+}
+
+// NewSkyline returns a skyline scheduler with the given options.
+func NewSkyline(opts Options) *Skyline {
+	if opts.MaxContainers <= 0 {
+		opts.MaxContainers = 1
+	}
+	return &Skyline{Opts: opts}
+}
+
+// Schedule computes the skyline of execution schedules for the non-optional
+// operators of g, sorted fastest first. Optional operators in g are
+// ignored; use ScheduleWithOptional to interleave them.
+func (sk *Skyline) Schedule(g *dataflow.Graph) []*Schedule {
+	return sk.run(g, false)
+}
+
+// ScheduleWithOptional computes the skyline scheduling both the dataflow
+// operators and the optional index-build operators of g (§5.3.2). Optional
+// operators are placed into idle gaps only, so schedules never get slower
+// or more expensive by including them; schedules in the returned skyline
+// may therefore differ in how many operators they carry.
+func (sk *Skyline) ScheduleWithOptional(g *dataflow.Graph) []*Schedule {
+	return sk.run(g, true)
+}
+
+func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	var flowOps, optOps []dataflow.OpID
+	for _, id := range topo {
+		if g.Op(id).Optional {
+			optOps = append(optOps, id)
+		} else {
+			flowOps = append(flowOps, id)
+		}
+	}
+	prefer := preferSeqIdle
+	if withOptional {
+		prefer = preferMoreOps
+	}
+
+	base := NewSchedule(g, sk.Opts.Pricing, sk.Opts.Spec)
+	base.Types = sk.Opts.Types
+	sky := []candidate{{s: base}}
+	sky[0].p = sky[0].s.point()
+
+	// Build the processing order. With optional ops, they sit in the same
+	// ready list as the dataflow operators (§5.3.2): they are available
+	// from the start, so they get considered interleaved with the dataflow
+	// ops — evenly spread here — and each is considered exactly once,
+	// against whatever idle gaps exist at that point. This is what makes
+	// the online algorithm schedule fewer builds than LP interleaving
+	// (Fig. 8): most fragmentation appears only after the whole dataflow
+	// is placed.
+	type step struct {
+		id       dataflow.OpID
+		optional bool
+	}
+	var order []step
+	if withOptional && len(optOps) > 0 && len(flowOps) > 0 {
+		perFlow := float64(len(optOps)) / float64(len(flowOps))
+		acc := 0.0
+		oi := 0
+		for _, id := range flowOps {
+			order = append(order, step{id: id})
+			acc += perFlow
+			for acc >= 1 && oi < len(optOps) {
+				order = append(order, step{id: optOps[oi], optional: true})
+				oi++
+				acc--
+			}
+		}
+		for ; oi < len(optOps); oi++ {
+			order = append(order, step{id: optOps[oi], optional: true})
+		}
+	} else {
+		for _, id := range flowOps {
+			order = append(order, step{id: id})
+		}
+		if withOptional {
+			for _, id := range optOps {
+				order = append(order, step{id: id, optional: true})
+			}
+		}
+	}
+
+	for _, st := range order {
+		if st.optional {
+			// Union of the previous skyline and every gap placement
+			// (§5.3.2: "the previous skyline is kept and unioned with the
+			// set of schedules S before computing the new skyline").
+			cands := append([]candidate(nil), sky...)
+			for _, c := range sky {
+				for _, a := range placements(c.s, st.id) {
+					ns := c.s.Clone()
+					if _, err := ns.PlaceAt(st.id, a.Container, a.Start, -1); err != nil {
+						continue
+					}
+					cands = append(cands, candidate{s: ns, p: ns.point()})
+				}
+			}
+			sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+			continue
+		}
+		var cands []candidate
+		for _, c := range sky {
+			// Candidate containers: each already-used container plus one
+			// fresh one (fresh containers are interchangeable); a fresh
+			// container may be leased as any configured VM type.
+			used := c.s.NumSlots()
+			limit := used + 1
+			if limit > sk.Opts.MaxContainers {
+				limit = sk.Opts.MaxContainers
+			}
+			for cont := 0; cont < limit; cont++ {
+				nTypes := 1
+				if cont >= used && len(sk.Opts.Types) > 1 {
+					nTypes = len(sk.Opts.Types)
+				}
+				for ti := 0; ti < nTypes; ti++ {
+					ns := c.s.Clone()
+					if cont >= used && len(sk.Opts.Types) > 0 {
+						if err := ns.SetContainerType(cont, ti); err != nil {
+							continue
+						}
+					}
+					if _, err := ns.Append(st.id, cont, -1); err != nil {
+						continue
+					}
+					cands = append(cands, candidate{s: ns, p: ns.point()})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+	}
+
+	out := make([]*Schedule, len(sky))
+	for i, c := range sky {
+		out[i] = c.s
+	}
+	return out
+}
+
+// placements enumerates feasible gap placements for an optional op in s:
+// the earliest position in every contiguous idle run (crossing quantum
+// boundaries but never extending a container's lease) large enough for the
+// op.
+func placements(s *Schedule, op dataflow.OpID) []Assignment {
+	need := s.Graph.Op(op).Time
+	slots := s.IdleSlots()
+	var out []Assignment
+	// Merge adjacent slots into contiguous runs per container.
+	i := 0
+	for i < len(slots) {
+		j := i
+		end := slots[i].End
+		for j+1 < len(slots) &&
+			slots[j+1].Container == slots[i].Container &&
+			math.Abs(slots[j+1].Start-end) < 1e-9 {
+			j++
+			end = slots[j].End
+		}
+		if end-slots[i].Start >= need-1e-9 {
+			out = append(out, Assignment{
+				Op:        op,
+				Container: slots[i].Container,
+				Start:     slots[i].Start,
+				End:       slots[i].Start + need,
+			})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Fastest returns the schedule with the smallest makespan from a skyline
+// (the selection rule used in this work, §5.2: "the fastest schedule is
+// chosen"). It returns nil for an empty skyline.
+func Fastest(skyline []*Schedule) *Schedule {
+	var best *Schedule
+	for _, s := range skyline {
+		if best == nil || s.Makespan() < best.Makespan() {
+			best = s
+		}
+	}
+	return best
+}
+
+// Cheapest returns the schedule with the smallest monetary cost.
+func Cheapest(skyline []*Schedule) *Schedule {
+	var best *Schedule
+	for _, s := range skyline {
+		if best == nil || s.MoneyQuanta() < best.MoneyQuanta() {
+			best = s
+		}
+	}
+	return best
+}

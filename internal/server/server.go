@@ -1,0 +1,194 @@
+// Package server exposes the QaaS service over HTTP — the front door of
+// the Fig. 1 architecture: users submit dataflows, the service executes
+// them with online index tuning, and operational state (index set, metrics,
+// tables) is inspectable.
+//
+// Endpoints:
+//
+//	POST /v1/dataflows       submit one dataflow in flowlang format
+//	GET  /v1/indexes         the current index states
+//	GET  /v1/metrics         service counters
+//	GET  /v1/tables          the catalog's tables
+//	GET  /healthz            liveness
+//
+// The core service processes dataflows sequentially (§3); the server
+// serializes submissions with a mutex accordingly.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"idxflow/internal/core"
+	"idxflow/internal/flowlang"
+	"idxflow/internal/workload"
+)
+
+// Server wraps a core.Service with an HTTP API.
+type Server struct {
+	mu  sync.Mutex
+	svc *core.Service
+	db  *workload.FileDB
+
+	submitted int
+}
+
+// New returns a server over the given service and file database.
+func New(svc *core.Service, db *workload.FileDB) *Server {
+	return &Server{svc: svc, db: db}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dataflows", s.handleSubmit)
+	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/tables", s.handleTables)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// SubmitResponse is the JSON result of a dataflow submission.
+type SubmitResponse struct {
+	Flow            string   `json:"flow"`
+	StartSeconds    float64  `json:"start_seconds"`
+	EndSeconds      float64  `json:"end_seconds"`
+	MakespanSeconds float64  `json:"makespan_seconds"`
+	MoneyQuanta     float64  `json:"money_quanta"`
+	IndexesUsed     []string `json:"indexes_used"`
+	BuildsCompleted int      `json:"builds_completed"`
+	BuildsKilled    int      `json:"builds_killed"`
+	IndexesDeleted  []string `json:"indexes_deleted"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	flow, err := flowlang.Parse(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if flow.IssuedAt < s.svc.Clock() {
+		flow.IssuedAt = s.svc.Clock()
+	}
+	res := s.svc.Submit(flow)
+	s.submitted++
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		Flow:            res.Flow.Name,
+		StartSeconds:    res.Start,
+		EndSeconds:      res.End,
+		MakespanSeconds: res.Makespan,
+		MoneyQuanta:     res.MoneyQuanta,
+		IndexesUsed:     orEmpty(res.IndexesUsed),
+		BuildsCompleted: res.BuildsCompleted,
+		BuildsKilled:    res.BuildsKilled,
+		IndexesDeleted:  orEmpty(res.Deleted),
+	})
+}
+
+// IndexInfo is the JSON view of one index state.
+type IndexInfo struct {
+	Name          string  `json:"name"`
+	Table         string  `json:"table"`
+	BuiltCount    int     `json:"built_partitions"`
+	TotalCount    int     `json:"total_partitions"`
+	BuiltSizeMB   float64 `json:"built_size_mb"`
+	Available     bool    `json:"available"`
+	FullSizeMB    float64 `json:"full_size_mb"`
+	BuiltFraction float64 `json:"built_fraction"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cat := s.svc.Catalog()
+	var out []IndexInfo
+	onlyAvailable := r.URL.Query().Get("available") == "true"
+	for _, name := range cat.IndexNames() {
+		st := cat.State(name)
+		if onlyAvailable && st.BuiltCount() == 0 {
+			continue
+		}
+		out = append(out, IndexInfo{
+			Name:          name,
+			Table:         st.Index.Table.Name,
+			BuiltCount:    st.BuiltCount(),
+			TotalCount:    len(st.Index.Table.Partitions),
+			BuiltSizeMB:   st.BuiltSizeMB(),
+			Available:     st.BuiltCount() > 0,
+			FullSizeMB:    st.Index.SizeMB(),
+			BuiltFraction: st.BuiltFraction(),
+		})
+	}
+	s.mu.Unlock()
+	if out == nil {
+		out = []IndexInfo{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MetricsResponse summarizes service counters.
+type MetricsResponse struct {
+	ClockSeconds     float64 `json:"clock_seconds"`
+	Submitted        int     `json:"dataflows_submitted"`
+	IndexesAvailable int     `json:"indexes_available"`
+	IndexStorageMB   float64 `json:"index_storage_mb"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := MetricsResponse{
+		ClockSeconds:     s.svc.Clock(),
+		Submitted:        s.submitted,
+		IndexesAvailable: len(s.svc.Catalog().AvailableSet()),
+		IndexStorageMB:   s.svc.Catalog().BuiltSizeMB(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TableInfo is the JSON view of one catalog table.
+type TableInfo struct {
+	Name       string  `json:"name"`
+	Partitions int     `json:"partitions"`
+	Records    int64   `json:"records"`
+	SizeMB     float64 `json:"size_mb"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := []TableInfo{}
+	for _, f := range s.db.Files {
+		out = append(out, TableInfo{
+			Name:       f.Table.Name,
+			Partitions: len(f.Table.Partitions),
+			Records:    f.Table.NumRecords(),
+			SizeMB:     f.Table.SizeMB(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func orEmpty(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"idxflow/internal/core"
+	"idxflow/internal/workload"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	db, err := workload.NewFileDB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Sched.MaxSkyline = 4
+	cfg.Sched.MaxContainers = 10
+	s := New(core.NewService(cfg, db), db)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// flowText builds a flowlang dataflow reading a real catalog partition so
+// the tuner has something to index.
+func flowText(db *workload.FileDB) string {
+	path := db.Files[0].Table.Partitions[0].Path
+	idx := db.Files[0].Indexes[0].Name()
+	return `
+flow api-test
+input ` + path + `
+op scan kind=range time=40 reads=` + path + `
+op agg kind=aggregate time=10
+edge scan -> agg size=4
+index ` + idx + ` ops=scan:94.44
+`
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitDataflow(t *testing.T) {
+	s, ts := testServer(t)
+	body := flowText(s.db)
+	resp, err := http.Post(ts.URL+"/v1/dataflows", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Flow != "api-test" {
+		t.Errorf("flow = %q", out.Flow)
+	}
+	if out.MakespanSeconds <= 0 || out.MoneyQuanta <= 0 {
+		t.Errorf("result = %+v", out)
+	}
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/dataflows", "text/plain", strings.NewReader("not a flow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSubmitWrongMethod(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/dataflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestIndexLifecycleOverAPI(t *testing.T) {
+	s, ts := testServer(t)
+	// Submit the same flow a few times so its index becomes beneficial and
+	// gets built.
+	body := flowText(s.db)
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/v1/dataflows", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/indexes?available=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []IndexInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Error("no index became available after repeated submissions")
+	}
+	for _, in := range infos {
+		if !in.Available || in.BuiltCount == 0 {
+			t.Errorf("non-available index in filtered list: %+v", in)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	http.Post(ts.URL+"/v1/dataflows", "text/plain", strings.NewReader(flowText(s.db)))
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1", m.Submitted)
+	}
+	if m.ClockSeconds <= 0 {
+		t.Errorf("clock = %g", m.ClockSeconds)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tables []TableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 125 {
+		t.Errorf("tables = %d, want 125", len(tables))
+	}
+}

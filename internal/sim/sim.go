@@ -1,0 +1,280 @@
+// Package sim executes planned schedules under the runtime semantics of
+// §6.1 of the paper: dataflow operators run at priority 1 and index-build
+// operators at priority -1; negative-priority operators are stopped when a
+// positive-priority operator arrives at their container or the leased
+// quantum expires; containers cache inputs on local disk with LRU
+// replacement; and actual operator runtimes may differ from the estimates
+// the schedule was planned with (the robustness experiment of Fig. 6).
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+	"idxflow/internal/sched"
+)
+
+// Config parameterizes an execution.
+type Config struct {
+	Pricing cloud.Pricing
+	Spec    cloud.Spec
+	// Actual returns the true runtime of an operator in seconds; nil means
+	// the estimates are exact (op.Time).
+	Actual func(op *dataflow.Operator) float64
+	// SizeOf returns the size in MB of a storage path for the input-read
+	// and cache model; nil disables read modelling (inputs are then
+	// assumed to be folded into operator runtimes).
+	SizeOf func(path string) float64
+	// Caches holds per-container LRU caches keyed by container index,
+	// surviving across executions (the paper's containers cache partitions
+	// between dataflows). Nil with SizeOf set means fresh caches.
+	Caches map[int]*cloud.LRUCache
+}
+
+// OpResult is the realized execution of one operator.
+type OpResult struct {
+	Op        dataflow.OpID
+	Container int
+	Start     float64
+	End       float64
+	// Killed reports an index-build operator stopped by preemption or
+	// quantum expiry before completing.
+	Killed bool
+	// Completed is true for dataflow operators that ran and build
+	// operators that finished.
+	Completed bool
+}
+
+// Result summarizes an execution.
+type Result struct {
+	Ops map[dataflow.OpID]OpResult
+	// Makespan is the realized dataflow execution time td: first dataflow
+	// operator start to last dataflow operator finish.
+	Makespan float64
+	// MoneyQuanta is the realized monetary cost in quanta.
+	MoneyQuanta float64
+	// Fragmentation is the paid-but-idle time in seconds.
+	Fragmentation float64
+	// Killed counts build operators stopped before completion.
+	Killed int
+	// CompletedBuilds lists the build operators that finished.
+	CompletedBuilds []dataflow.OpID
+	// TransferredMB is the data volume read from the storage service
+	// (cache misses) when SizeOf is configured.
+	TransferredMB float64
+}
+
+// Execute runs the planned schedule and returns the realized execution.
+func Execute(s *sched.Schedule, cfg Config) Result {
+	actual := cfg.Actual
+	if actual == nil {
+		actual = func(op *dataflow.Operator) float64 { return op.Time }
+	}
+	g := s.Graph
+
+	// Group assignments per container in planned order, and collect the
+	// dataflow ops in planned-start order for pass 1.
+	perCont := make(map[int][]sched.Assignment)
+	var flowOps []sched.Assignment
+	for _, a := range s.Assignments() {
+		perCont[a.Container] = append(perCont[a.Container], a)
+		if !g.Op(a.Op).Optional {
+			flowOps = append(flowOps, a)
+		}
+	}
+	// Topological ranks break planned-start ties between dependent
+	// zero-length ops.
+	topo, _ := g.TopoSort()
+	rank := make(map[dataflow.OpID]int, len(topo))
+	for i, id := range topo {
+		rank[id] = i
+	}
+	sort.SliceStable(flowOps, func(i, j int) bool {
+		if flowOps[i].Start != flowOps[j].Start {
+			return flowOps[i].Start < flowOps[j].Start
+		}
+		return rank[flowOps[i].Op] < rank[flowOps[j].Op]
+	})
+
+	res := Result{Ops: make(map[dataflow.OpID]OpResult, s.Assigned())}
+	caches := cfg.Caches
+	if caches == nil && cfg.SizeOf != nil {
+		caches = make(map[int]*cloud.LRUCache)
+	}
+
+	// Pass 1: dataflow operators. Work-conserving: each starts as soon as
+	// its predecessors' data has arrived and the previous dataflow
+	// operator on its container has finished. Build operators never delay
+	// them (priority -1 yields).
+	contClock := make(map[int]float64)
+	for _, a := range flowOps {
+		op := g.Op(a.Op)
+		ctype := s.ContainerType(a.Container)
+		start := contClock[a.Container]
+		for _, e := range g.In(a.Op) {
+			pr, ok := res.Ops[e.From]
+			if !ok {
+				continue
+			}
+			t := pr.End
+			if pr.Container != a.Container {
+				t += ctype.Spec.TransferSeconds(e.Size)
+			}
+			if t > start {
+				start = t
+			}
+		}
+		dur := actual(op) / ctype.SpeedFactor
+		// Input reads: a cache miss transfers the partition from the
+		// storage service before the operator can run (§6.1).
+		if cfg.SizeOf != nil && len(op.Reads) > 0 {
+			c := caches[a.Container]
+			if c == nil {
+				c = cloud.NewLRUCache(ctype.Spec.DiskMB)
+				caches[a.Container] = c
+			}
+			for _, path := range op.Reads {
+				size := cfg.SizeOf(path)
+				if size <= 0 {
+					continue
+				}
+				if !c.Get(path) {
+					dur += ctype.Spec.TransferSeconds(size)
+					res.TransferredMB += size
+					c.Put(path, size)
+				}
+			}
+		}
+		end := start + dur
+		res.Ops[a.Op] = OpResult{
+			Op: a.Op, Container: a.Container,
+			Start: start, End: end, Completed: true,
+		}
+		contClock[a.Container] = end
+	}
+
+	// Realized lease per container: whole quanta covering the last
+	// dataflow operator (idle containers are deleted when their current
+	// quantum expires, §3). A container holding only build operators is a
+	// dedicated build container (the delayed-building extension): its
+	// lease is the planned quanta the service deliberately paid for, and
+	// builds running long are still cut at that boundary.
+	leaseEnd := make(map[int]float64)
+	for c, as := range perCont {
+		var last float64
+		anyFlowOp := false
+		for _, a := range as {
+			if !g.Op(a.Op).Optional {
+				anyFlowOp = true
+				if r := res.Ops[a.Op]; r.End > last {
+					last = r.End
+				}
+			}
+		}
+		if !anyFlowOp {
+			for _, a := range as {
+				if a.End > last {
+					last = a.End
+				}
+			}
+		}
+		leaseEnd[c] = float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
+	}
+
+	// Pass 2: build operators run in the realized gaps, in planned order,
+	// stopped by the next dataflow operator's realized start or by the
+	// lease end.
+	for c, as := range perCont {
+		// Realized start of each dataflow op on this container, in order.
+		type flowPoint struct {
+			idx   int // index in as
+			start float64
+		}
+		var points []flowPoint
+		for i, a := range as {
+			if !g.Op(a.Op).Optional {
+				points = append(points, flowPoint{idx: i, start: res.Ops[a.Op].Start})
+			}
+		}
+		clock := 0.0
+		pi := 0
+		for i, a := range as {
+			op := g.Op(a.Op)
+			if !op.Optional {
+				clock = res.Ops[a.Op].End
+				if pi < len(points) && points[pi].idx == i {
+					pi++
+				}
+				continue
+			}
+			// Kill time: the next dataflow op's realized start, else the
+			// lease end.
+			kill := leaseEnd[c]
+			for j := pi; j < len(points); j++ {
+				if points[j].idx > i {
+					kill = points[j].start
+					break
+				}
+			}
+			start := clock
+			end := start + actual(op)/s.ContainerType(c).SpeedFactor
+			r := OpResult{Op: a.Op, Container: c, Start: start}
+			if start >= kill-1e-9 {
+				r.End = start // preempted before it could run at all
+				r.Killed = true
+				res.Killed++
+			} else if end > kill+1e-9 {
+				r.End = kill // stopped at preemption or quantum expiry
+				r.Killed = true
+				res.Killed++
+			} else {
+				r.End = end
+				r.Completed = true
+				res.CompletedBuilds = append(res.CompletedBuilds, a.Op)
+			}
+			res.Ops[a.Op] = r
+			clock = r.End
+		}
+	}
+	sort.Slice(res.CompletedBuilds, func(i, j int) bool {
+		return res.CompletedBuilds[i] < res.CompletedBuilds[j]
+	})
+
+	// Aggregate metrics.
+	first, last := math.Inf(1), 0.0
+	anyFlow := false
+	for id, r := range res.Ops {
+		if g.Op(id).Optional {
+			continue
+		}
+		anyFlow = true
+		if r.Start < first {
+			first = r.Start
+		}
+		if r.End > last {
+			last = r.End
+		}
+	}
+	if anyFlow {
+		res.Makespan = last - first
+	}
+	var busy float64
+	for _, r := range res.Ops {
+		busy += r.End - r.Start
+	}
+	var leased float64
+	for c := range perCont {
+		leased += leaseEnd[c]
+		w := 1.0
+		if cfg.Pricing.VMPerQuantum > 0 {
+			if t := s.ContainerType(c); t.PricePerQuantum > 0 {
+				w = t.PricePerQuantum / cfg.Pricing.VMPerQuantum
+			}
+		}
+		res.MoneyQuanta += float64(cfg.Pricing.Quanta(leaseEnd[c])) * w
+	}
+	res.Fragmentation = leased - busy
+	return res
+}

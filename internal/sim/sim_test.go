@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+	"idxflow/internal/interleave"
+	"idxflow/internal/sched"
+)
+
+func cfg() Config {
+	return Config{Pricing: cloud.DefaultPricing(), Spec: cloud.DefaultSpec()}
+}
+
+func schedOpts() sched.Options {
+	return sched.Options{
+		Pricing:       cloud.DefaultPricing(),
+		Spec:          cloud.DefaultSpec(),
+		MaxContainers: 10,
+		MaxSkyline:    8,
+	}
+}
+
+func TestExecuteExactEstimatesMatchPlan(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 20})
+	if err := g.Connect(a, b, 125); err != nil { // 1 s transfer
+		t.Fatal(err)
+	}
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	s.Append(b, 1, -1)
+
+	res := Execute(s, cfg())
+	if math.Abs(res.Makespan-s.Makespan()) > 1e-9 {
+		t.Errorf("realized makespan %g != planned %g", res.Makespan, s.Makespan())
+	}
+	if math.Abs(res.MoneyQuanta-s.MoneyQuanta()) > 1e-9 {
+		t.Errorf("realized money %g != planned %g", res.MoneyQuanta, s.MoneyQuanta())
+	}
+	if res.Killed != 0 {
+		t.Errorf("killed = %d, want 0", res.Killed)
+	}
+	rb := res.Ops[b]
+	if math.Abs(rb.Start-11) > 1e-9 {
+		t.Errorf("b started at %g, want 11 (transfer delay)", rb.Start)
+	}
+}
+
+func TestExecuteWithRuntimeErrors(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	s.Append(b, 0, -1)
+
+	c := cfg()
+	c.Actual = func(op *dataflow.Operator) float64 { return op.Time * 2 }
+	res := Execute(s, c)
+	if math.Abs(res.Makespan-40) > 1e-9 {
+		t.Errorf("makespan with 2x runtimes = %g, want 40", res.Makespan)
+	}
+}
+
+func TestBuildOpCompletesInGap(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	bi := g.Add(dataflow.Operator{Name: "build", Time: 20, Optional: true, Priority: -1})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1) // [0,10], lease to 60
+	if _, err := s.PlaceAt(bi, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(s, cfg())
+	if res.Killed != 0 || len(res.CompletedBuilds) != 1 {
+		t.Errorf("killed=%d completed=%v, want build completed", res.Killed, res.CompletedBuilds)
+	}
+	r := res.Ops[bi]
+	if r.Start != 10 || r.End != 30 {
+		t.Errorf("build interval = [%g,%g], want [10,30]", r.Start, r.End)
+	}
+}
+
+func TestBuildOpKilledAtLeaseEnd(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	bi := g.Add(dataflow.Operator{Name: "build", Time: 45, Optional: true, Priority: -1})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	if _, err := s.PlaceAt(bi, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	// Build actually takes 60 s, exceeding the lease end at 60.
+	c.Actual = func(op *dataflow.Operator) float64 {
+		if op.Optional {
+			return 60
+		}
+		return op.Time
+	}
+	res := Execute(s, c)
+	if res.Killed != 1 {
+		t.Fatalf("killed = %d, want 1", res.Killed)
+	}
+	r := res.Ops[bi]
+	if !r.Killed || math.Abs(r.End-60) > 1e-9 {
+		t.Errorf("build = %+v, want killed at 60 (quantum expiry)", r)
+	}
+	// The kill must not extend the lease.
+	if res.MoneyQuanta != 1 {
+		t.Errorf("money = %g quanta, want 1", res.MoneyQuanta)
+	}
+}
+
+func TestBuildOpKilledByPreemption(t *testing.T) {
+	// Dataflow: a on c0 [0,10], c depends on a, planned on c0 at [40,50];
+	// build placed in the gap [10,40]. If a runs long, the gap shrinks and
+	// the build is preempted by c's realized start.
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	c := g.Add(dataflow.Operator{Name: "c", Time: 10})
+	if err := g.Connect(a, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	bi := g.Add(dataflow.Operator{Name: "build", Time: 30, Optional: true, Priority: -1})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	if _, err := s.PlaceAt(c, 0, 40, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceAt(bi, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(s, cfg())
+	// Realized: a [0,10], c starts at its dependency-ready time 10 (work
+	// conserving), so the build is preempted immediately after c... but
+	// planned order on the container is a, build, c: the build starts at
+	// 10 and c's realized start is 10, so the build is killed at once.
+	r := res.Ops[bi]
+	if !r.Killed {
+		t.Errorf("build not killed: %+v", r)
+	}
+	if rc := res.Ops[c]; rc.Start != 10 {
+		t.Errorf("c started at %g, want 10 (not delayed by build)", rc.Start)
+	}
+}
+
+func TestCacheAvoidsRepeatTransfers(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10, Reads: []string{"t/0"}})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10, Reads: []string{"t/0"}})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	s.Append(b, 0, -1)
+	c := cfg()
+	c.SizeOf = func(path string) float64 { return 125 } // 1 s transfer
+	res := Execute(s, c)
+	// Only the first read transfers: 125 MB once.
+	if math.Abs(res.TransferredMB-125) > 1e-9 {
+		t.Errorf("TransferredMB = %g, want 125", res.TransferredMB)
+	}
+	// a takes 11 s (read+compute), b takes 10 s (cache hit).
+	if got := res.Ops[b].End; math.Abs(got-21) > 1e-9 {
+		t.Errorf("b end = %g, want 21", got)
+	}
+}
+
+func TestCacheMissesAcrossContainers(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10, Reads: []string{"t/0"}})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10, Reads: []string{"t/0"}})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	s.Append(b, 1, -1)
+	c := cfg()
+	c.SizeOf = func(path string) float64 { return 125 }
+	res := Execute(s, c)
+	if math.Abs(res.TransferredMB-250) > 1e-9 {
+		t.Errorf("TransferredMB = %g, want 250 (two containers, two misses)", res.TransferredMB)
+	}
+}
+
+// TestRealizedMatchesPlannedProperty: with exact estimates, realized
+// makespan and money never exceed the plan (work-conserving execution can
+// only shift ops earlier), and with no optional ops nothing is killed.
+func TestRealizedMatchesPlannedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dataflow.New()
+		n := 3 + rng.Intn(10)
+		ids := make([]dataflow.OpID, n)
+		for i := range ids {
+			ids[i] = g.Add(dataflow.Operator{Name: "op", Time: 1 + rng.Float64()*50})
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if rng.Float64() < 0.3 {
+					if err := g.Connect(ids[j], ids[i], rng.Float64()*20); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		sky := sched.NewSkyline(schedOpts()).Schedule(g)
+		for _, s := range sky {
+			res := Execute(s, cfg())
+			if res.Killed != 0 {
+				return false
+			}
+			if res.Makespan > s.Makespan()+1e-6 {
+				t.Logf("seed %d: realized %g > planned %g", seed, res.Makespan, s.Makespan())
+				return false
+			}
+			if res.MoneyQuanta > s.MoneyQuanta()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterleavedExecution runs an LP-interleaved schedule end to end and
+// checks builds complete without affecting the dataflow.
+func TestInterleavedExecution(t *testing.T) {
+	g := dataflow.New()
+	src := g.Add(dataflow.Operator{Name: "src", Time: 20})
+	sink := g.Add(dataflow.Operator{Name: "sink", Time: 20})
+	for i := 0; i < 4; i++ {
+		m := g.Add(dataflow.Operator{Name: "mid", Time: 25})
+		if err := g.Connect(src, m, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(m, sink, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var builds []dataflow.OpID
+	for i := 0; i < 5; i++ {
+		builds = append(builds, g.Add(dataflow.Operator{
+			Name: "build", Time: 8, Optional: true, Priority: -1,
+		}))
+	}
+	lp := &interleave.LP{Scheduler: sched.NewSkyline(schedOpts())}
+	skyline := lp.Interleave(g, nil)
+	s := sched.Fastest(skyline)
+	if s == nil {
+		t.Fatal("no schedule")
+	}
+	res := Execute(s, cfg())
+	if math.Abs(res.Makespan-s.Makespan()) > 1e-6 {
+		t.Errorf("interleaving changed realized makespan: %g vs %g", res.Makespan, s.Makespan())
+	}
+	placed := 0
+	for _, id := range builds {
+		if _, ok := s.Assignment(id); ok {
+			placed++
+		}
+	}
+	if placed > 0 && len(res.CompletedBuilds)+res.Killed != placed {
+		t.Errorf("placed %d builds but completed %d + killed %d",
+			placed, len(res.CompletedBuilds), res.Killed)
+	}
+}
+
+// TestExecuteHeterogeneousTypes: the simulator honours container types —
+// ops on a 2x container run in half the time and money is price-weighted.
+func TestExecuteHeterogeneousTypes(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 60})
+	o := schedOpts()
+	o.Types = cloud.DefaultVMTypes()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Types = o.Types
+	if err := s.SetContainerType(0, 1); err != nil { // 2x speed, $0.22/q
+		t.Fatal(err)
+	}
+	if _, err := s.Append(a, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(s, cfg())
+	if math.Abs(res.Makespan-30) > 1e-9 {
+		t.Errorf("makespan = %g on 2x container, want 30", res.Makespan)
+	}
+	// 1 quantum at 2.2x the baseline price.
+	if math.Abs(res.MoneyQuanta-2.2) > 1e-9 {
+		t.Errorf("money = %g, want 2.2", res.MoneyQuanta)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides equi-depth histograms — the per-column statistics
+// the paper's model keeps per table (§3: "The statistics contain the
+// average size of the fields of each column"; "the statistics (e.g.,
+// histograms) do not change radically over time"). The advisor uses them
+// to estimate range selectivities instead of assuming a constant.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-depth histogram over int64 keys: every bucket holds
+// approximately the same number of values, so bucket boundaries are dense
+// where the data is dense.
+type Histogram struct {
+	// bounds[i] is the upper bound (inclusive) of bucket i; bucket i
+	// covers (bounds[i-1], bounds[i]].
+	bounds []int64
+	// counts[i] is the exact number of sampled values in bucket i.
+	counts []int64
+	min    int64
+	total  int64
+}
+
+// Build constructs a histogram with at most buckets buckets from values
+// (consumed and sorted in place). It returns an error for an empty input
+// or a non-positive bucket count.
+func Build(values []int64, buckets int) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stats: empty input")
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: need at least one bucket")
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	h := &Histogram{min: values[0], total: int64(len(values))}
+
+	per := len(values) / buckets
+	if per < 1 {
+		per = 1
+	}
+	for i := per - 1; i < len(values); i += per {
+		// Extend the bucket to the end of a run of equal values so a key
+		// never spans buckets.
+		j := i
+		for j+1 < len(values) && values[j+1] == values[j] {
+			j++
+		}
+		h.push(values[j], int64(j+1))
+		i = j
+	}
+	// Ensure the last value closes the final bucket.
+	if last := values[len(values)-1]; len(h.bounds) == 0 || h.bounds[len(h.bounds)-1] < last {
+		h.push(last, int64(len(values)))
+	}
+	return h, nil
+}
+
+// push appends a bucket ending at bound covering values up to cumulative
+// count cum.
+func (h *Histogram) push(bound int64, cum int64) {
+	var prev int64
+	for _, c := range h.counts {
+		prev += c
+	}
+	if cum <= prev {
+		return
+	}
+	h.bounds = append(h.bounds, bound)
+	h.counts = append(h.counts, cum-prev)
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.bounds) }
+
+// Total returns the number of sampled values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Min and Max return the sampled extremes.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sampled value.
+func (h *Histogram) Max() int64 {
+	if len(h.bounds) == 0 {
+		return h.min
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// EstimateRange returns the estimated fraction of values in [lo, hi)
+// (linear interpolation within partially covered buckets).
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if hi <= lo || h.total == 0 {
+		return 0
+	}
+	var covered float64
+	prevBound := h.min - 1
+	for i, bound := range h.bounds {
+		bLo, bHi := prevBound+1, bound // bucket covers [bLo, bHi]
+		prevBound = bound
+		if hi <= bLo || lo > bHi {
+			continue
+		}
+		// Overlap of [lo, hi) with [bLo, bHi+1).
+		oLo, oHi := max64(lo, bLo), min64(hi, bHi+1)
+		width := float64(bHi-bLo) + 1
+		covered += float64(h.counts[i]) * float64(oHi-oLo) / width
+	}
+	frac := covered / float64(h.total)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// EstimateEquals returns the estimated fraction of values equal to key.
+func (h *Histogram) EstimateEquals(key int64) float64 {
+	return h.EstimateRange(key, key+1)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Build([]int64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestUniformEstimates(t *testing.T) {
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	h, err := Build(values, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 10000 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Min() != 0 || h.Max() != 9999 {
+		t.Errorf("range = [%d, %d]", h.Min(), h.Max())
+	}
+	// 10% range.
+	got := h.EstimateRange(1000, 2000)
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("EstimateRange(1000,2000) = %g, want ~0.1", got)
+	}
+	// Full range.
+	if got := h.EstimateRange(0, 10000); math.Abs(got-1) > 0.01 {
+		t.Errorf("full range = %g, want 1", got)
+	}
+	// Empty and out-of-range.
+	if got := h.EstimateRange(5, 5); got != 0 {
+		t.Errorf("empty range = %g", got)
+	}
+	if got := h.EstimateRange(20000, 30000); got != 0 {
+		t.Errorf("out-of-range = %g", got)
+	}
+}
+
+func TestSkewedEstimates(t *testing.T) {
+	// 90% of the mass at small keys, 10% spread high.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 20000)
+	for i := range values {
+		if rng.Float64() < 0.9 {
+			values[i] = rng.Int63n(100)
+		} else {
+			values[i] = 1000 + rng.Int63n(100000)
+		}
+	}
+	h, err := Build(values, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := h.EstimateRange(0, 100)
+	if math.Abs(low-0.9) > 0.05 {
+		t.Errorf("low-range mass = %g, want ~0.9", low)
+	}
+	high := h.EstimateRange(1000, 200000)
+	if math.Abs(high-0.1) > 0.05 {
+		t.Errorf("high-range mass = %g, want ~0.1", high)
+	}
+}
+
+func TestEstimateEqualsHeavyHitter(t *testing.T) {
+	values := make([]int64, 0, 1000)
+	for i := 0; i < 500; i++ {
+		values = append(values, 42)
+	}
+	for i := 0; i < 500; i++ {
+		values = append(values, int64(1000+i))
+	}
+	h, err := Build(values, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.EstimateEquals(42)
+	if got < 0.3 || got > 0.7 {
+		t.Errorf("EstimateEquals(42) = %g, want ~0.5", got)
+	}
+}
+
+// TestEstimatesPropertyAgainstExact: on random data, estimated range
+// fractions stay within a tolerance of the exact answer.
+func TestEstimatesPropertyAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2000 + rng.Intn(3000)
+		values := make([]int64, n)
+		keep := make([]int64, n)
+		for i := range values {
+			values[i] = rng.Int63n(10000)
+			keep[i] = values[i]
+		}
+		h, err := Build(values, 24)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			lo := rng.Int63n(11000) - 500
+			hi := lo + rng.Int63n(5000)
+			exact := 0
+			for _, v := range keep {
+				if v >= lo && v < hi {
+					exact++
+				}
+			}
+			est := h.EstimateRange(lo, hi)
+			if math.Abs(est-float64(exact)/float64(n)) > 0.08 {
+				t.Logf("seed %d: range [%d,%d) est %g exact %g",
+					seed, lo, hi, est, float64(exact)/float64(n))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBucketCountsSumToTotal: counts always partition the input.
+func TestBucketCountsSumToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = rng.Int63n(500)
+		}
+		h, err := Build(values, 1+rng.Intn(40))
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, c := range h.counts {
+			sum += c
+		}
+		return sum == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

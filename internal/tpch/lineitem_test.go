@@ -1,0 +1,138 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"idxflow/internal/data"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Generate(0.001, 8)
+	same := len(a) == len(c)
+	if same {
+		diff := false
+		for i := range a {
+			if a[i] != c[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical data")
+		}
+	}
+}
+
+func TestGenerateRowCountAndShape(t *testing.T) {
+	rows := Generate(0.001, 1)
+	want := int(RowsPerScale * 0.001)
+	if len(rows) < want || len(rows) > want+7 {
+		t.Errorf("len = %d, want in [%d, %d]", len(rows), want, want+7)
+	}
+	// Order keys are dense and non-decreasing, 1-7 rows each.
+	perOrder := make(map[int64]int)
+	var prev int64
+	for _, r := range rows {
+		if r.OrderKey < prev {
+			t.Fatal("order keys not non-decreasing")
+		}
+		prev = r.OrderKey
+		perOrder[r.OrderKey]++
+		if r.CommitDate < 0 || r.CommitDate >= CommitDateDays {
+			t.Fatalf("commit date %d out of range", r.CommitDate)
+		}
+		if int(r.ShipInstruct) >= len(ShipInstructs) {
+			t.Fatalf("ship instruct %d out of range", r.ShipInstruct)
+		}
+		if r.Comment == "" {
+			t.Fatal("empty comment")
+		}
+	}
+	var sum, n float64
+	for _, c := range perOrder {
+		if c < 1 || c > 7 {
+			t.Fatalf("order with %d lineitems", c)
+		}
+		sum += float64(c)
+		n++
+	}
+	if avg := sum / n; avg < 3 || avg > 5 {
+		t.Errorf("average lineitems per order = %g, want ~4", avg)
+	}
+}
+
+func TestCommentWidthMatchesStatistic(t *testing.T) {
+	rows := Generate(0.002, 3)
+	var total float64
+	for _, r := range rows {
+		total += float64(len(r.Comment))
+	}
+	avg := total / float64(len(rows))
+	if math.Abs(avg-commentWidth) > 5 {
+		t.Errorf("average comment length = %g, want near %g", avg, commentWidth)
+	}
+}
+
+func TestTableDescriptorMatchesTable5(t *testing.T) {
+	// Scale 2: ~12M rows, ~1.4 GB, like the paper.
+	tab := TableDescriptor(2, 128)
+	if got := tab.NumRecords(); got != 12_000_000 {
+		t.Errorf("NumRecords = %d, want 12000000", got)
+	}
+	sizeGB := tab.SizeMB() / 1024
+	if sizeGB < 1.2 || sizeGB > 1.5 {
+		t.Errorf("table size = %.2f GB, want ~1.4", sizeGB)
+	}
+	// Index sizes as % of table size must reproduce the ordering of
+	// Table 5: comment > shipinstruct > commitdate > orderkey.
+	pct := func(col string) float64 {
+		idx, err := data.NewIndex(tab, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx.SizeMB() / tab.SizeMB() * 100
+	}
+	comment, ship, commit, order := pct("comment"), pct("shipinstruct"), pct("commitdate"), pct("orderkey")
+	if !(comment > ship && ship > commit && commit > order) {
+		t.Errorf("percentage ordering broken: comment=%.1f ship=%.1f commit=%.1f order=%.1f",
+			comment, ship, commit, order)
+	}
+	// And land near the paper's absolute percentages.
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"comment", comment, 30.16},
+		{"shipinstruct", ship, 17.78},
+		{"commitdate", commit, 16.13},
+		{"orderkey", order, 10.49},
+	} {
+		if math.Abs(c.got-c.want) > 2.5 {
+			t.Errorf("%s index = %.2f%% of table, want ~%.2f%%", c.name, c.got, c.want)
+		}
+	}
+	// Partitions capped at 128 MB.
+	for _, p := range tab.Partitions {
+		if mb := tab.PartitionSizeMB(p); mb > 128.0001 {
+			t.Errorf("partition %d is %.1f MB, want <= 128", p.ID, mb)
+		}
+	}
+}
+
+func TestTableDescriptorDefaultsPartitionSize(t *testing.T) {
+	tab := TableDescriptor(0.01, 0)
+	if len(tab.Partitions) == 0 {
+		t.Fatal("no partitions")
+	}
+}

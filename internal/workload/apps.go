@@ -1,0 +1,282 @@
+// Package workload generates the synthetic scientific dataflows used in the
+// paper's evaluation (§6.1): Montage, LIGO and CyberShake graphs with the
+// level structure of Fig. 5 and the operator statistics of Table 4, a
+// shared database of input files partitioned at 128 MB, four potential
+// indexes per file sized by the Table 5 ratios with speedups drawn from
+// Table 6, and Poisson arrival clients in random and phase modes.
+//
+// The paper produces these dataflows with the Bharathi et al. workflow
+// generator, which is not available offline; this package is a faithful
+// reimplementation parameterised by the published statistics.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"idxflow/internal/dataflow"
+)
+
+// App identifies one of the three scientific applications.
+type App int
+
+// The applications of §6.1.
+const (
+	Montage App = iota
+	Ligo
+	Cybershake
+)
+
+var appNames = [...]string{"montage", "ligo", "cybershake"}
+
+func (a App) String() string {
+	if a < 0 || int(a) >= len(appNames) {
+		return fmt.Sprintf("app(%d)", int(a))
+	}
+	return appNames[a]
+}
+
+// Apps lists all applications.
+var Apps = []App{Montage, Ligo, Cybershake}
+
+// Stats are the published Table 4 targets for one application.
+type Stats struct {
+	Ops                           int
+	MinT, MaxT, MeanT, StdevT     float64 // operator runtimes, seconds
+	Files                         int
+	MinMB, MaxMB, MeanMB, StdevMB float64 // input file sizes
+}
+
+// Table4 returns the paper's Table 4 statistics for app.
+func Table4(app App) Stats {
+	switch app {
+	case Montage:
+		return Stats{Ops: 100, MinT: 3.82, MaxT: 49.32, MeanT: 11.32, StdevT: 2.95,
+			Files: 20, MinMB: 0.01, MaxMB: 4.02, MeanMB: 3.22, StdevMB: 1.65}
+	case Ligo:
+		return Stats{Ops: 100, MinT: 4.03, MaxT: 689.39, MeanT: 222.33, StdevT: 241.42,
+			Files: 53, MinMB: 0.86, MaxMB: 14.91, MeanMB: 14.24, StdevMB: 2.70}
+	default:
+		return Stats{Ops: 100, MinT: 0.55, MaxT: 199.43, MeanT: 22.97, StdevT: 25.08,
+			Files: 52, MinMB: 1.81, MaxMB: 19169.75, MeanMB: 1459.08, StdevMB: 5091.69}
+	}
+}
+
+// truncNorm draws from N(mean, sd) truncated to [lo, hi].
+func truncNorm(rng *rand.Rand, mean, sd, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := rng.NormFloat64()*sd + mean
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return math.Min(math.Max(mean, lo), hi)
+}
+
+// opSpec is one operator type of an application level.
+type opSpec struct {
+	name     string
+	kind     dataflow.Kind
+	mean, sd float64
+	lo, hi   float64
+}
+
+func (s opSpec) sample(rng *rand.Rand) float64 {
+	return truncNorm(rng, s.mean, s.sd, s.lo, s.hi)
+}
+
+// Generator builds dataflow graphs and flows.
+type Generator struct {
+	rng *rand.Rand
+	db  *FileDB
+}
+
+// NewGenerator returns a generator over db seeded deterministically.
+func NewGenerator(db *FileDB, seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), db: db}
+}
+
+// connect panics on Connect errors: generation is structural, so an error
+// is a programming bug, not an input condition.
+func connect(g *dataflow.Graph, from, to dataflow.OpID, size float64) {
+	if err := g.Connect(from, to, size); err != nil {
+		panic(err)
+	}
+}
+
+// Graph generates a fresh ~100-operator graph of the given application,
+// returning the graph and its level-0 reader operators.
+func (gen *Generator) Graph(app App) (*dataflow.Graph, []dataflow.OpID) {
+	switch app {
+	case Montage:
+		return gen.montage()
+	case Ligo:
+		return gen.ligo()
+	default:
+		return gen.cybershake()
+	}
+}
+
+// montage builds the Fig. 5A shape: a wide projection level, a pairwise
+// difference-fit level, two serial fitting ops, a background level joined
+// back to the projections, and a serial aggregation tail. ~100 ops, mean
+// runtime ~11 s with a slow mAdd tail op (Table 4: max 49.32).
+func (gen *Generator) montage() (*dataflow.Graph, []dataflow.OpID) {
+	rng := gen.rng
+	g := dataflow.New()
+	project := opSpec{"mProject", dataflow.KindProcess, 10.5, 2.0, 3.82, 20}
+	diff := opSpec{"mDiffFit", dataflow.KindJoin, 10.0, 1.8, 3.82, 20}
+	concat := opSpec{"mConcatFit", dataflow.KindAggregate, 14, 2, 5, 25}
+	bg := opSpec{"mBgModel", dataflow.KindProcess, 20, 3, 8, 35}
+	back := opSpec{"mBackground", dataflow.KindProcess, 11, 2, 3.82, 20}
+	imgtbl := opSpec{"mImgtbl", dataflow.KindGroup, 12, 2, 4, 25}
+	add := opSpec{"mAdd", dataflow.KindAggregate, 45, 3, 30, 49.32}
+	shrink := opSpec{"mShrink", dataflow.KindProcess, 12, 2, 4, 25}
+
+	const nProj = 20
+	edge := func() float64 { return 0.5 + rng.Float64()*3.5 } // MB
+
+	var projs []dataflow.OpID
+	for i := 0; i < nProj; i++ {
+		projs = append(projs, g.Add(dataflow.Operator{
+			Name: project.name, Kind: project.kind, CPU: 1, Memory: 0.25,
+			Time: project.sample(rng),
+		}))
+	}
+	var diffs []dataflow.OpID
+	for i := 0; i < 38; i++ {
+		d := g.Add(dataflow.Operator{Name: diff.name, Kind: diff.kind, CPU: 1, Memory: 0.25, Time: diff.sample(rng)})
+		a := projs[i%nProj]
+		b := projs[(i+1)%nProj]
+		connect(g, a, d, edge())
+		connect(g, b, d, edge())
+		diffs = append(diffs, d)
+	}
+	cf := g.Add(dataflow.Operator{Name: concat.name, Kind: concat.kind, CPU: 1, Memory: 0.25, Time: concat.sample(rng)})
+	for _, d := range diffs {
+		connect(g, d, cf, edge())
+	}
+	bgm := g.Add(dataflow.Operator{Name: bg.name, Kind: bg.kind, CPU: 1, Memory: 0.25, Time: bg.sample(rng)})
+	connect(g, cf, bgm, edge())
+	var backs []dataflow.OpID
+	for i := 0; i < nProj; i++ {
+		b := g.Add(dataflow.Operator{Name: back.name, Kind: back.kind, CPU: 1, Memory: 0.25, Time: back.sample(rng)})
+		connect(g, bgm, b, edge())
+		connect(g, projs[i], b, edge())
+		backs = append(backs, b)
+	}
+	it := g.Add(dataflow.Operator{Name: imgtbl.name, Kind: imgtbl.kind, CPU: 1, Memory: 0.25, Time: imgtbl.sample(rng)})
+	for _, b := range backs {
+		connect(g, b, it, edge())
+	}
+	ad := g.Add(dataflow.Operator{Name: add.name, Kind: add.kind, CPU: 1, Memory: 0.5, Time: add.sample(rng)})
+	connect(g, it, ad, 2+rng.Float64()*2)
+	// Parallel shrink level (one per tile) feeding a final JPEG op.
+	jpeg := g.Add(dataflow.Operator{Name: "mJPEG", Kind: dataflow.KindProcess, CPU: 1, Memory: 0.25, Time: shrink.sample(rng)})
+	for i := 0; i < 17; i++ {
+		sOp := g.Add(dataflow.Operator{Name: shrink.name, Kind: shrink.kind, CPU: 1, Memory: 0.25, Time: shrink.sample(rng)})
+		connect(g, ad, sOp, edge())
+		connect(g, sOp, jpeg, edge())
+	}
+	return g, projs
+}
+
+// ligo builds the Fig. 5B inspiral shape: template banks feeding matched
+// filters one-to-one, coincidence stages aggregating groups, and a second
+// filtering pass. The Inspiral operators dominate the runtime (Table 4:
+// mean 222 s, stdev 241, max 689).
+func (gen *Generator) ligo() (*dataflow.Graph, []dataflow.OpID) {
+	rng := gen.rng
+	g := dataflow.New()
+	tmplt := opSpec{"TmpltBank", dataflow.KindProcess, 55, 15, 4.03, 110}
+	insp := opSpec{"Inspiral", dataflow.KindProcess, 440, 130, 100, 689.39}
+	thinca := opSpec{"Thinca", dataflow.KindGroup, 8, 3, 4.03, 20}
+	trig := opSpec{"TrigBank", dataflow.KindRangeSelect, 9, 3, 4.03, 20}
+
+	const nBank = 25
+	edge := func() float64 { return 5 + rng.Float64()*10 }
+
+	var banks, insp1 []dataflow.OpID
+	for i := 0; i < nBank; i++ {
+		banks = append(banks, g.Add(dataflow.Operator{Name: tmplt.name, Kind: tmplt.kind, CPU: 1, Memory: 0.25, Time: tmplt.sample(rng)}))
+	}
+	for i := 0; i < nBank; i++ {
+		in := g.Add(dataflow.Operator{Name: insp.name, Kind: insp.kind, CPU: 1, Memory: 0.5, Time: insp.sample(rng)})
+		connect(g, banks[i], in, edge())
+		insp1 = append(insp1, in)
+	}
+	var thincas []dataflow.OpID
+	for i := 0; i < 5; i++ {
+		th := g.Add(dataflow.Operator{Name: thinca.name, Kind: thinca.kind, CPU: 1, Memory: 0.25, Time: thinca.sample(rng)})
+		for j := 0; j < 5; j++ {
+			connect(g, insp1[i*5+j], th, edge())
+		}
+		thincas = append(thincas, th)
+	}
+	// TrigBank operators re-read the template data from storage (they are
+	// range selects over the banks), so they count as readers too and
+	// their indexes accelerate the second Inspiral stage.
+	var trigs, insp2 []dataflow.OpID
+	for i := 0; i < 20; i++ {
+		tb := g.Add(dataflow.Operator{Name: trig.name, Kind: trig.kind, CPU: 1, Memory: 0.25, Time: trig.sample(rng)})
+		connect(g, thincas[i%5], tb, edge())
+		trigs = append(trigs, tb)
+	}
+	for i := 0; i < 20; i++ {
+		in := g.Add(dataflow.Operator{Name: insp.name, Kind: insp.kind, CPU: 1, Memory: 0.5, Time: insp.sample(rng)})
+		connect(g, trigs[i], in, edge())
+		insp2 = append(insp2, in)
+	}
+	for i := 0; i < 5; i++ {
+		th := g.Add(dataflow.Operator{Name: thinca.name, Kind: thinca.kind, CPU: 1, Memory: 0.25, Time: thinca.sample(rng)})
+		for j := 0; j < 4; j++ {
+			connect(g, insp2[i*4+j], th, edge())
+		}
+	}
+	return g, append(banks, trigs...)
+}
+
+// cybershake builds the Fig. 5C shape: a couple of strain-tensor
+// extractions fanning out to many seismogram syntheses, each followed by a
+// peak-value calculation, aggregated by zip operators. Input data is huge
+// (Table 4: mean file 1.46 GB), so edges carry hundreds of MB — the
+// data-intensive case of Fig. 7.
+func (gen *Generator) cybershake() (*dataflow.Graph, []dataflow.OpID) {
+	rng := gen.rng
+	g := dataflow.New()
+	sgt := opSpec{"ExtractSGT", dataflow.KindRangeSelect, 150, 30, 60, 199.43}
+	synth := opSpec{"SeismogramSynthesis", dataflow.KindProcess, 28, 18, 0.55, 150}
+	peak := opSpec{"PeakValCalc", dataflow.KindLookup, 1.5, 0.8, 0.55, 5}
+	zip := opSpec{"ZipSeis", dataflow.KindAggregate, 40, 10, 10, 80}
+
+	bigEdge := func() float64 { return 100 + rng.Float64()*400 } // MB
+	smallEdge := func() float64 { return 0.5 + rng.Float64()*2 }
+
+	var sgts []dataflow.OpID
+	for i := 0; i < 2; i++ {
+		sgts = append(sgts, g.Add(dataflow.Operator{Name: sgt.name, Kind: sgt.kind, CPU: 1, Memory: 0.5, Time: sgt.sample(rng)}))
+	}
+	var synths, peaks []dataflow.OpID
+	const nSynth = 47
+	for i := 0; i < nSynth; i++ {
+		sy := g.Add(dataflow.Operator{Name: synth.name, Kind: synth.kind, CPU: 1, Memory: 0.5, Time: synth.sample(rng)})
+		connect(g, sgts[i%2], sy, bigEdge())
+		synths = append(synths, sy)
+	}
+	for i := 0; i < nSynth; i++ {
+		pk := g.Add(dataflow.Operator{Name: peak.name, Kind: peak.kind, CPU: 1, Memory: 0.25, Time: peak.sample(rng)})
+		connect(g, synths[i], pk, smallEdge())
+		peaks = append(peaks, pk)
+	}
+	zs := g.Add(dataflow.Operator{Name: zip.name, Kind: zip.kind, CPU: 1, Memory: 0.5, Time: zip.sample(rng)})
+	zp := g.Add(dataflow.Operator{Name: "ZipPSA", Kind: zip.kind, CPU: 1, Memory: 0.5, Time: zip.sample(rng)})
+	for i := 0; i < nSynth; i++ {
+		connect(g, synths[i], zs, smallEdge())
+		connect(g, peaks[i], zp, smallEdge())
+	}
+	final := g.Add(dataflow.Operator{Name: "Aggregate", Kind: dataflow.KindAggregate, CPU: 1, Memory: 0.25, Time: 10 + rng.Float64()*10})
+	connect(g, zs, final, smallEdge())
+	connect(g, zp, final, smallEdge())
+	return g, sgts
+}
