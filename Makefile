@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

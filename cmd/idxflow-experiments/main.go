@@ -5,6 +5,11 @@
 // Usage:
 //
 //	idxflow-experiments [-exp id] [-seed n] [-horizon quanta] [-scale s] [-trials n]
+//	                    [-trace out.json]
+//
+// With -trace, the package-level tracer is enabled for the whole run and
+// the span timeline of every service the experiments construct is written
+// as Chrome trace-event JSON at exit.
 //
 // Experiment ids: params, table4, table5, table6, fig3, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12 (phase workload, includes table7 and fig13),
@@ -19,17 +24,39 @@ import (
 	"strings"
 
 	"idxflow/internal/experiments"
+	"idxflow/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (params, table4..6, fig3, fig6..14, all)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		horizon = flag.Float64("horizon", 720, "dynamic-experiment horizon in quanta")
-		scale   = flag.Float64("scale", 0.05, "TPC-H scale factor for table6 (paper: 2)")
-		trials  = flag.Int("trials", 3, "trials per point for fig6/fig7")
+		exp      = flag.String("exp", "all", "experiment to run (params, table4..6, fig3, fig6..14, all)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		horizon  = flag.Float64("horizon", 720, "dynamic-experiment horizon in quanta")
+		scale    = flag.Float64("scale", 0.05, "TPC-H scale factor for table6 (paper: 2)")
+		trials   = flag.Int("trials", 3, "trials per point for fig6/fig7")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		// The experiment helpers build their services internally, which
+		// default to the package-level tracer; enabling it captures them all.
+		telemetry.DefaultTracer().SetEnabled(true)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := telemetry.DefaultTracer().WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("trace: %d spans -> %s (open in chrome://tracing)\n",
+				telemetry.DefaultTracer().Len(), *traceOut)
+		}()
+	}
 
 	run := func(id string) bool {
 		if id == "ablation" {

@@ -1,7 +1,8 @@
 // Command idxflow-server runs the QaaS service as an HTTP server: dataflows
 // are submitted in flowlang format to POST /v1/dataflows and executed with
 // online index tuning; GET /v1/indexes, /v1/metrics and /v1/tables expose
-// the service state.
+// the service state, and GET /metrics serves the telemetry registry in the
+// Prometheus text exposition format.
 //
 // Usage:
 //

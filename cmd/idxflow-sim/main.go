@@ -4,8 +4,12 @@
 // Usage:
 //
 //	idxflow-sim [-strategy gain] [-generator phase] [-horizon 720]
-//	            [-algo lp] [-seed 1] [-error 0.1] [-v]
+//	            [-algo lp] [-seed 1] [-error 0.1] [-v] [-trace out.json]
 //	idxflow-sim -flow path/to/flow.txt [-flow more.txt]  # submit flowlang files
+//
+// With -trace, the scheduler/executor span timeline of the run is written
+// as Chrome trace-event JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"idxflow/internal/core"
 	"idxflow/internal/dataflow"
 	"idxflow/internal/flowlang"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -37,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		errPct    = flag.Float64("error", 0.1, "runtime estimation error fraction (0..1)")
 		verbose   = flag.Bool("v", false, "print per-dataflow results")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
 	)
 	var files flowFiles
 	flag.Var(&files, "flow", "flowlang file to submit (repeatable; overrides -generator)")
@@ -111,8 +117,30 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" {
+		cfg.Tracer = telemetry.NewTracer()
+	}
 	svc := core.NewService(cfg, db)
 	m := svc.Run(flows, horizonSec)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cfg.Tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:             %d spans -> %s (open in chrome://tracing)\n",
+			cfg.Tracer.Len(), *traceOut)
+	}
 
 	if *verbose {
 		for _, r := range m.Results {

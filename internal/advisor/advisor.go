@@ -13,6 +13,7 @@ import (
 
 	"idxflow/internal/data"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/telemetry"
 )
 
 // Candidate is one recommended index with its per-operator speedups and an
@@ -41,6 +42,9 @@ type Options struct {
 	// column — and overrides RangeSelectivity for that table. Results
 	// outside (0, 1] fall back to RangeSelectivity.
 	Selectivity func(t *data.Table) float64
+	// Metrics, when non-nil, counts recommended candidates and observes
+	// their estimated savings.
+	Metrics *telemetry.Registry
 }
 
 // Advise analyzes the flow against the catalog and returns recommended
@@ -120,6 +124,15 @@ func Advise(flow *dataflow.Flow, cat *data.Catalog, opts Options) []Candidate {
 	})
 	if len(out) > opts.MaxPerFlow {
 		out = out[:opts.MaxPerFlow]
+	}
+	opts.Metrics.Counter("idxflow_advisor_candidates_total",
+		"Index candidates recommended by the what-if advisor.").
+		Add(float64(len(out)))
+	saved := opts.Metrics.Histogram("idxflow_advisor_saved_seconds",
+		"Estimated serial operator seconds saved per recommended index.",
+		telemetry.ExponentialBuckets(1, 2, 14))
+	for _, c := range out {
+		saved.Observe(c.SavedSeconds)
 	}
 	return out
 }

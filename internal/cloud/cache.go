@@ -1,6 +1,10 @@
 package cloud
 
-import "container/list"
+import (
+	"container/list"
+
+	"idxflow/internal/telemetry"
+)
 
 // LRUCache models a container's local disk cache of table partitions and
 // indexes read from the storage service (§6.1: "If the container cache gets
@@ -11,6 +15,10 @@ type LRUCache struct {
 	usedMB     float64
 	entries    map[string]*list.Element
 	order      *list.List // front = most recently used
+
+	// Hits, Misses and Evictions, when set (see Instrument), count Get
+	// outcomes and LRU evictions. Nil counters are no-ops.
+	Hits, Misses, Evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -38,10 +46,34 @@ func (c *LRUCache) Contains(path string) bool {
 func (c *LRUCache) Get(path string) bool {
 	el, ok := c.entries[path]
 	if !ok {
+		c.Misses.Inc()
 		return false
 	}
+	c.Hits.Inc()
 	c.order.MoveToFront(el)
 	return true
+}
+
+// Instrument wires the cache's hit/miss/eviction counters to the shared
+// cache metrics of the registry. Several caches may share one registry;
+// their counts aggregate.
+func (c *LRUCache) Instrument(reg *telemetry.Registry) *LRUCache {
+	c.Hits, c.Misses, c.Evictions = CacheMetrics(reg)
+	return c
+}
+
+// CacheMetrics returns the registry's shared cache counters
+// (idxflow_cache_hits_total, idxflow_cache_misses_total,
+// idxflow_cache_evictions_total), registering the families on first use so
+// they appear in a scrape even before any cache traffic.
+func CacheMetrics(reg *telemetry.Registry) (hits, misses, evictions *telemetry.Counter) {
+	hits = reg.Counter("idxflow_cache_hits_total",
+		"Container disk-cache hits while reading operator inputs.")
+	misses = reg.Counter("idxflow_cache_misses_total",
+		"Container disk-cache misses (inputs fetched from the storage service).")
+	evictions = reg.Counter("idxflow_cache_evictions_total",
+		"Entries evicted from container disk caches by the LRU policy.")
+	return hits, misses, evictions
 }
 
 // Put inserts path with the given size, evicting least-recently-used entries
@@ -79,6 +111,7 @@ func (c *LRUCache) evictUntilFits() []string {
 		c.usedMB -= e.sizeMB
 		evicted = append(evicted, e.path)
 	}
+	c.Evictions.Add(float64(len(evicted)))
 	return evicted
 }
 

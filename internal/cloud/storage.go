@@ -3,6 +3,8 @@ package cloud
 import (
 	"fmt"
 	"sort"
+
+	"idxflow/internal/telemetry"
 )
 
 // Storage models the cloud storage service (§3): a flat namespace of files
@@ -17,11 +19,40 @@ type Storage struct {
 	// lastQuantum is the quantum timestamp up to which cost was accrued.
 	lastQuantum float64
 	pricing     Pricing
+
+	// Telemetry handles, wired by Instrument; nil handles are no-ops.
+	costCounter     *telemetry.Counter
+	transferCounter *telemetry.Counter
+	sizeGauge       *telemetry.Gauge
+	filesGauge      *telemetry.Gauge
 }
 
 // NewStorage returns an empty storage service billed under p.
 func NewStorage(p Pricing) *Storage {
 	return &Storage{files: make(map[string]float64), pricing: p}
+}
+
+// Instrument registers the storage service's gauges and counters with the
+// registry: accrued cost, bytes transferred, and the current footprint.
+func (s *Storage) Instrument(reg *telemetry.Registry) *Storage {
+	s.costCounter = reg.Counter("idxflow_storage_cost_dollars_total",
+		"Cumulative storage-service cost accrued, in dollars.")
+	s.transferCounter = reg.Counter("idxflow_storage_transferred_mb_total",
+		"Cumulative MB moved in and out of the storage service.")
+	s.sizeGauge = reg.Gauge("idxflow_storage_mb",
+		"Bytes currently held in the storage service, in MB.")
+	s.filesGauge = reg.Gauge("idxflow_storage_files",
+		"Files currently held in the storage service.")
+	s.syncGauges()
+	return s
+}
+
+func (s *Storage) syncGauges() {
+	if s.sizeGauge == nil && s.filesGauge == nil {
+		return // skip the O(files) footprint walk when uninstrumented
+	}
+	s.sizeGauge.Set(s.TotalMB())
+	s.filesGauge.Set(float64(len(s.files)))
 }
 
 // Put stores (or replaces) a file of the given size and counts the upload
@@ -32,6 +63,8 @@ func (s *Storage) Put(path string, sizeMB float64) error {
 	}
 	s.files[path] = sizeMB
 	s.transferredMB += sizeMB
+	s.transferCounter.Add(sizeMB)
+	s.syncGauges()
 	return nil
 }
 
@@ -41,6 +74,7 @@ func (s *Storage) Get(path string) (sizeMB float64, ok bool) {
 	sizeMB, ok = s.files[path]
 	if ok {
 		s.transferredMB += sizeMB
+		s.transferCounter.Add(sizeMB)
 	}
 	return sizeMB, ok
 }
@@ -57,6 +91,7 @@ func (s *Storage) Delete(path string) bool {
 		return false
 	}
 	delete(s.files, path)
+	s.syncGauges()
 	return true
 }
 
@@ -91,7 +126,9 @@ func (s *Storage) TransferredMB() float64 { return s.transferredMB }
 func (s *Storage) Advance(nowSeconds float64) float64 {
 	if nowSeconds > s.lastQuantum {
 		quanta := (nowSeconds - s.lastQuantum) / s.pricing.QuantumSeconds
-		s.costAccrued += s.pricing.StorageCost(s.TotalMB(), quanta)
+		delta := s.pricing.StorageCost(s.TotalMB(), quanta)
+		s.costAccrued += delta
+		s.costCounter.Add(delta)
 		s.lastQuantum = nowSeconds
 	}
 	return s.costAccrued
@@ -119,4 +156,5 @@ func (s *Storage) Restore(files map[string]float64, costAccrued, upToSeconds flo
 	}
 	s.costAccrued = costAccrued
 	s.lastQuantum = upToSeconds
+	s.syncGauges()
 }

@@ -18,6 +18,7 @@ import (
 	"idxflow/internal/interleave"
 	"idxflow/internal/sched"
 	"idxflow/internal/sim"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -101,6 +102,15 @@ type Config struct {
 	// UpdateFraction is the fraction of partitions touched per batch
 	// update; zero means 1%.
 	UpdateFraction float64
+	// Telemetry receives the service's metrics and is threaded through
+	// the scheduler, interleaver, executor and storage layers. Nil means
+	// the package-level telemetry.Default() registry; inject a fresh
+	// registry to keep tests isolated.
+	Telemetry *telemetry.Registry
+	// Tracer records nested spans (submit → rank → schedule → execute).
+	// Nil means telemetry.DefaultTracer(), which is disabled until a
+	// -trace flag enables it, so tracing costs one nil check per span.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns the Table 3 configuration with the Gain strategy
@@ -181,6 +191,12 @@ type Service struct {
 	clock   float64
 	vmQ     float64
 	metrics Metrics
+	// makespanSum accumulates finished flows' makespans; Run derives
+	// Metrics.MeanMakespan from it so repeated Run calls stay idempotent.
+	makespanSum float64
+	tel         *telemetry.Registry
+	tracer      *telemetry.Tracer
+	ins         serviceInstruments
 	// lastUsed records, per index, the last service time a dataflow
 	// listed it as potentially useful — the hysteresis input.
 	lastUsed map[string]float64
@@ -198,6 +214,16 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 	if cfg.MaxBuildOps <= 0 {
 		cfg.MaxBuildOps = 64
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.DefaultTracer()
+	}
+	// Thread the observability handles through the scheduling layers; the
+	// executor and storage get them below.
+	cfg.Sched.Metrics = cfg.Telemetry
+	cfg.Sched.Tracer = cfg.Tracer
 	s := &Service{
 		cfg:      cfg,
 		db:       db,
@@ -205,13 +231,24 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 		storage:  cloud.NewStorage(cfg.Sched.Pricing),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		lastUsed: make(map[string]float64),
+		tel:      cfg.Telemetry,
+		tracer:   cfg.Tracer,
 	}
+	s.ins = newServiceInstruments(s.tel)
+	s.storage.Instrument(s.tel)
+	s.eval.Metrics = s.tel
 	if cfg.AdaptiveFading {
 		s.fader = gain.NewAdaptiveFader(cfg.Gain.FadeD)
 		s.eval.FadeOverride = s.fader.FadeFor
 	}
 	return s
 }
+
+// Telemetry returns the metrics registry the service reports into.
+func (s *Service) Telemetry() *telemetry.Registry { return s.tel }
+
+// Tracer returns the tracer the service records spans into.
+func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Catalog exposes the underlying catalog (index states).
 func (s *Service) Catalog() *data.Catalog { return s.db.Catalog }
@@ -313,6 +350,9 @@ func (s *Service) recordGains(flow *dataflow.Flow) {
 		gmd := gtd - s.indexReadQuanta(flow, idx)
 		if gmd < 0 {
 			gmd = 0
+		}
+		if gtd > 0 {
+			s.ins.realGain.Observe(gtd)
 		}
 		s.eval.History.Add(iu.Index, gain.Record{When: s.clock, TimeGain: gtd, MoneyGain: gmd})
 	}
@@ -451,6 +491,7 @@ func (s *Service) applyBatchUpdates() {
 				for _, path := range freed {
 					s.storage.Delete(path)
 					s.InvalidatedPartitions++
+					s.ins.invalidated.Inc()
 				}
 			}
 		}
@@ -459,6 +500,9 @@ func (s *Service) applyBatchUpdates() {
 
 // Submit processes one dataflow through Algorithm 1 and executes it.
 func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
+	span := s.tracer.StartSpan("service.submit").SetAttr("flow", flow.Name)
+	defer span.End()
+	s.ins.flowsSubmitted.Inc()
 	if flow.IssuedAt > s.clock {
 		s.clock = flow.IssuedAt
 	}
@@ -505,7 +549,10 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 				candidates = append(candidates, c)
 			}
 		}
+		rankSpan := s.tracer.StartSpan("service.rank").SetAttr("candidates", len(candidates))
 		ranked := s.eval.Rank(candidates, s.clock)
+		rankSpan.SetAttr("beneficial", len(ranked))
+		rankSpan.End()
 		touched := make(map[string]bool, len(flow.Inputs))
 		for _, p := range flow.Inputs {
 			touched[p] = true
@@ -516,9 +563,14 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		// gains are non-positive are dropped.
 		if s.cfg.Strategy == Gain {
 			res.Deleted = s.deleteNonBeneficial()
+			s.ins.indexesDeleted.Add(float64(len(res.Deleted)))
 		}
 	} else if s.cfg.Strategy == RandomIndex {
 		builds = s.randomBuildOps(g)
+	}
+	s.ins.buildOpsOffered.Add(float64(len(builds)))
+	for _, b := range builds {
+		s.ins.estGain.Observe(b.gain)
 	}
 
 	gains := make(map[dataflow.OpID]float64, len(builds))
@@ -533,6 +585,19 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		return res
 	}
 
+	// Idle-slot accounting over the chosen schedule, before dedicated-build
+	// containers are appended: interleaved builds occupy slack the flow's
+	// operators left behind, and the remaining fragmentation is idle time
+	// discovered but not fillable.
+	var interleavedSecs float64
+	for _, a := range chosen.Assignments() {
+		if chosen.Graph.Op(a.Op).Optional {
+			interleavedSecs += a.End - a.Start
+		}
+	}
+	s.ins.idleUsed.Add(interleavedSecs)
+	s.ins.idleDiscovered.Add(chosen.Fragmentation() + interleavedSecs)
+
 	// Delayed building (§7 extension): unplaced beneficial builds whose
 	// gain clearly exceeds the marginal quantum cost go to a dedicated
 	// extra container, paid for out of pocket.
@@ -541,7 +606,10 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 	}
 
 	// Execute with the configured runtime-error injection.
-	cfg := sim.Config{Pricing: s.cfg.Sched.Pricing, Spec: s.cfg.Sched.Spec}
+	cfg := sim.Config{
+		Pricing: s.cfg.Sched.Pricing, Spec: s.cfg.Sched.Spec,
+		Metrics: s.tel, Tracer: s.tracer,
+	}
 	if s.cfg.RuntimeError > 0 {
 		e := s.cfg.RuntimeError
 		rng := s.rng
@@ -583,10 +651,22 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 	res.End = s.clock
 	s.storage.Advance(s.clock)
 
+	s.ins.flowsFinished.Inc()
+	s.ins.flowMakespan.Observe(run.Makespan)
+	s.ins.flowQuanta.Observe(run.MoneyQuanta)
+	s.ins.partitionsBuilt.Add(float64(res.BuildsCompleted))
+	s.ins.clockGauge.Set(s.clock)
+	available := len(s.db.Catalog.AvailableSet())
+	s.ins.indexesAvail.Set(float64(available))
+	span.SetAttr("makespan_seconds", run.Makespan).
+		SetAttr("money_quanta", run.MoneyQuanta).
+		SetAttr("builds_completed", res.BuildsCompleted).
+		SetAttr("builds_killed", res.BuildsKilled)
+
 	s.metrics.Results = append(s.metrics.Results, res)
 	s.metrics.Timeline = append(s.metrics.Timeline, TimePoint{
 		T:            s.clock,
-		IndexesBuilt: len(s.db.Catalog.AvailableSet()),
+		IndexesBuilt: available,
 		StorageMB:    s.storage.TotalMB(),
 		StorageCost:  s.storage.CostAccrued(),
 	})
@@ -725,7 +805,11 @@ func (s *Service) randomBuildOps(g *dataflow.Graph) []buildCandidate {
 // Run submits every flow whose execution can finish within the horizon (in
 // seconds) and returns the aggregated metrics. Flows still queued or
 // running at the horizon are not counted as finished (§6.5: "the number of
-// dataflows finished after 720 time quanta").
+// dataflows finished after 720 time quanta"). Run may be called repeatedly
+// to feed the service in batches: the raw tallies accumulate in the
+// service, and every derived value (MeanMakespan, VMCost, CostPerFlow) is
+// recomputed from them on each call, so the returned aggregates are
+// identical whether the flows arrived in one call or several.
 func (s *Service) Run(flows []*dataflow.Flow, horizon float64) Metrics {
 	for _, f := range flows {
 		if s.clock >= horizon {
@@ -735,7 +819,7 @@ func (s *Service) Run(flows []*dataflow.Flow, horizon float64) Metrics {
 		res := s.Submit(f)
 		if res.End <= horizon {
 			s.metrics.FlowsFinished++
-			s.metrics.MeanMakespan += res.Makespan
+			s.makespanSum += res.Makespan
 		}
 		s.metrics.TotalOps += res.TotalOps
 		s.metrics.KilledOps += res.BuildsKilled
@@ -743,7 +827,7 @@ func (s *Service) Run(flows []*dataflow.Flow, horizon float64) Metrics {
 	s.storage.Advance(horizon)
 	m := s.metrics
 	if m.FlowsFinished > 0 {
-		m.MeanMakespan /= float64(m.FlowsFinished)
+		m.MeanMakespan = s.makespanSum / float64(m.FlowsFinished)
 	}
 	m.VMQuanta = s.vmQ
 	m.VMCost = s.vmQ * s.cfg.Sched.Pricing.VMPerQuantum

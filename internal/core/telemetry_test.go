@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"idxflow/internal/dataflow"
+	"idxflow/internal/telemetry"
+	"idxflow/internal/workload"
+)
+
+// makeFlows generates a deterministic batch of montage flows.
+func makeFlows(db *workload.FileDB, n int) []*dataflow.Flow {
+	gen := workload.NewGenerator(db, 2)
+	flows := make([]*dataflow.Flow, n)
+	for i := range flows {
+		flows[i] = gen.Flow(workload.Montage, i, 0)
+	}
+	return flows
+}
+
+// TestRunRepeatedCallsIdempotent is the regression test for the aggregate
+// derivation: feeding the same flows in one Run call or split across two
+// must yield identical derived metrics, and a further empty Run must not
+// change them (the old code kept a running makespan sum in the same field
+// as the derived mean, which double-divides if derivation ever touched the
+// stored value).
+func TestRunRepeatedCallsIdempotent(t *testing.T) {
+	const horizon = 1e9
+	cfg := quickConfig(Gain)
+	cfg.Telemetry = telemetry.NewRegistry()
+
+	dbA := testDB(t)
+	oneShot := NewService(cfg, dbA).Run(makeFlows(dbA, 6), horizon)
+
+	cfgB := quickConfig(Gain)
+	cfgB.Telemetry = telemetry.NewRegistry()
+	dbB := testDB(t)
+	svc := NewService(cfgB, dbB)
+	flows := makeFlows(dbB, 6)
+	svc.Run(flows[:3], horizon)
+	split := svc.Run(flows[3:], horizon)
+
+	if oneShot.FlowsFinished != split.FlowsFinished {
+		t.Fatalf("FlowsFinished: one-shot %d, split %d", oneShot.FlowsFinished, split.FlowsFinished)
+	}
+	if math.Abs(oneShot.MeanMakespan-split.MeanMakespan) > 1e-9 {
+		t.Errorf("MeanMakespan: one-shot %g, split %g", oneShot.MeanMakespan, split.MeanMakespan)
+	}
+	if math.Abs(oneShot.VMQuanta-split.VMQuanta) > 1e-9 {
+		t.Errorf("VMQuanta: one-shot %g, split %g", oneShot.VMQuanta, split.VMQuanta)
+	}
+	// CostPerFlow's storage term accrues to the horizon on each call, so it
+	// is compared for internal consistency rather than across call splits.
+	wantCPF := (split.VMCost + split.StorageCost) / float64(split.FlowsFinished)
+	if math.Abs(split.CostPerFlow-wantCPF) > 1e-9 {
+		t.Errorf("CostPerFlow = %g, want (VM+storage)/finished = %g", split.CostPerFlow, wantCPF)
+	}
+
+	// A Run with no flows must leave every derived aggregate untouched.
+	again := svc.Run(nil, horizon)
+	if again.MeanMakespan != split.MeanMakespan || again.CostPerFlow != split.CostPerFlow ||
+		again.FlowsFinished != split.FlowsFinished {
+		t.Errorf("empty Run changed aggregates: %+v vs %+v", again, split)
+	}
+}
+
+// TestServiceMetricsExposition submits flows against an injected registry
+// and checks that the required metric families are present and moving in
+// the Prometheus exposition.
+func TestServiceMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := quickConfig(Gain)
+	cfg.Telemetry = reg
+	db := testDB(t)
+	svc := NewService(cfg, db)
+	gen := workload.NewGenerator(db, 2)
+	for i := 0; i < 4; i++ {
+		svc.Submit(gen.Flow(workload.Montage, i, svc.Clock()))
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"idxflow_flows_finished_total 4",
+		"# TYPE idxflow_flow_makespan_seconds histogram",
+		"idxflow_flow_makespan_seconds_count 4",
+		"idxflow_idle_slot_seconds_total",
+		"idxflow_cache_hits_total",   // pre-registered even with no cache traffic
+		"idxflow_cache_misses_total", // likewise
+		"idxflow_skyline_iterations_total",
+		"idxflow_quanta_charged_total",
+		"idxflow_build_ops_offered_total",
+		"idxflow_storage_cost_dollars_total",
+		"idxflow_gain_candidates_evaluated_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if v := reg.Counter("idxflow_flows_submitted_total", "").Value(); v != 4 {
+		t.Errorf("flows_submitted = %g, want 4", v)
+	}
+	if v := reg.Counter("idxflow_idle_slot_seconds_total", "").Value(); v <= 0 {
+		t.Errorf("idle_slot_seconds = %g, want > 0", v)
+	}
+	if v := reg.Counter("idxflow_index_partitions_built_total", "").Value(); v <= 0 {
+		t.Errorf("partitions_built = %g, want > 0 (gain strategy should build)", v)
+	}
+}
+
+// TestServiceTraceRoundTrip drives a traced submission, exports the Chrome
+// trace, parses it back and checks the executor span nests inside the
+// submit span — the shape chrome://tracing renders as a hierarchy.
+func TestServiceTraceRoundTrip(t *testing.T) {
+	cfg := quickConfig(Gain)
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Tracer = telemetry.NewTracer()
+	db := testDB(t)
+	svc := NewService(cfg, db)
+	gen := workload.NewGenerator(db, 2)
+	svc.Submit(gen.Flow(workload.Montage, 0, 0))
+
+	var buf bytes.Buffer
+	if err := cfg.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) *telemetry.Event {
+		for i := range events {
+			if events[i].Name == name {
+				return &events[i]
+			}
+		}
+		return nil
+	}
+	submit := find("service.submit")
+	execute := find("sim.execute")
+	skyline := find("sched.skyline")
+	if submit == nil || execute == nil || skyline == nil {
+		t.Fatalf("missing spans (submit=%v execute=%v skyline=%v) in %d events",
+			submit != nil, execute != nil, skyline != nil, len(events))
+	}
+	for _, inner := range []*telemetry.Event{execute, skyline} {
+		if inner.TS < submit.TS || inner.TS+inner.Dur > submit.TS+submit.Dur {
+			t.Errorf("span %q [%g, %g] not nested in service.submit [%g, %g]",
+				inner.Name, inner.TS, inner.TS+inner.Dur, submit.TS, submit.TS+submit.Dur)
+		}
+	}
+	if submit.Args["flow"] == nil {
+		t.Error("service.submit span lost its flow attribute")
+	}
+	if submit.Phase != "X" || submit.PID != 1 {
+		t.Errorf("unexpected event shape: %+v", submit)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"idxflow/internal/cloud"
+	"idxflow/internal/telemetry"
 )
 
 // Params are the tuning knobs of the gain model.
@@ -145,6 +146,9 @@ type Evaluator struct {
 	// fading function — the hook for the learned controller of
 	// AdaptiveFader (§7 future work).
 	FadeOverride func(index string, quantaSince float64) float64
+	// Metrics, when non-nil, counts ranking activity: candidates
+	// evaluated and how many passed the beneficial test.
+	Metrics *telemetry.Registry
 }
 
 // NewEvaluator returns an evaluator over a fresh history.
@@ -242,6 +246,12 @@ func (e *Evaluator) Rank(candidates []Costs, now float64) []Ranked {
 		}
 		return out[i].Costs.Name < out[j].Costs.Name
 	})
+	e.Metrics.Counter("idxflow_gain_candidates_evaluated_total",
+		"Index candidates evaluated by the gain ranking.").
+		Add(float64(len(candidates)))
+	e.Metrics.Counter("idxflow_gain_beneficial_total",
+		"Candidates that passed the beneficial test (gt > 0 and gm > 0).").
+		Add(float64(len(out)))
 	return out
 }
 

@@ -59,11 +59,18 @@ type LP struct {
 // get gain equal to their runtime. The returned skyline contains schedules
 // of both dataflow and build operators.
 func (l *LP) Interleave(g *dataflow.Graph, gains map[dataflow.OpID]float64) []*sched.Schedule {
+	span := l.Scheduler.Opts.Tracer.StartSpan("interleave.lp")
+	defer span.End()
 	skyline := l.Scheduler.Schedule(g)
 	builds := optionalOps(g)
+	placed := 0
 	for _, s := range skyline {
-		packInto(s, builds, gains)
+		placed += len(packInto(s, builds, gains))
 	}
+	l.Scheduler.Opts.Metrics.Counter("idxflow_interleave_build_ops_placed_total",
+		"Index-build operators packed into idle slots across skyline schedules.").
+		Add(float64(placed))
+	span.SetAttr("schedules", len(skyline)).SetAttr("builds_offered", len(builds)).SetAttr("builds_placed", placed)
 	return skyline
 }
 
@@ -163,7 +170,22 @@ type Online struct {
 // but is unused: the online algorithm decides placements purely by the
 // skyline dominance rules.
 func (o *Online) Interleave(g *dataflow.Graph, _ map[dataflow.OpID]float64) []*sched.Schedule {
-	return o.Scheduler.ScheduleWithOptional(g)
+	span := o.Scheduler.Opts.Tracer.StartSpan("interleave.online")
+	defer span.End()
+	skyline := o.Scheduler.ScheduleWithOptional(g)
+	placed := 0
+	for _, s := range skyline {
+		for _, a := range s.Assignments() {
+			if g.Op(a.Op).Optional {
+				placed++
+			}
+		}
+	}
+	o.Scheduler.Opts.Metrics.Counter("idxflow_interleave_build_ops_placed_total",
+		"Index-build operators packed into idle slots across skyline schedules.").
+		Add(float64(placed))
+	span.SetAttr("schedules", len(skyline)).SetAttr("builds_placed", placed)
+	return skyline
 }
 
 // Interleaver is the common interface of the LP and online algorithms.

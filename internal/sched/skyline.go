@@ -6,6 +6,7 @@ import (
 
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/telemetry"
 )
 
 // Options configures the schedulers.
@@ -24,6 +25,11 @@ type Options struct {
 	// the skyline explores the choices (§3: "the scheduler can consider
 	// slots at different VM types").
 	Types []cloud.VMType
+	// Metrics, when non-nil, receives scheduler counters (skyline
+	// iterations, candidate schedules generated, frontier sizes).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records a span per skyline run.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultOptions returns the Table 3 experiment configuration with a
@@ -162,6 +168,11 @@ func NewSkyline(opts Options) *Skyline {
 	if opts.MaxContainers <= 0 {
 		opts.MaxContainers = 1
 	}
+	if opts.Tracer == nil {
+		// The package-level tracer is disabled unless a -trace flag turned
+		// it on, so standalone schedulers trace for free when asked to.
+		opts.Tracer = telemetry.DefaultTracer()
+	}
 	return &Skyline{Opts: opts}
 }
 
@@ -182,6 +193,18 @@ func (sk *Skyline) ScheduleWithOptional(g *dataflow.Graph) []*Schedule {
 }
 
 func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
+	span := sk.Opts.Tracer.StartSpan("sched.skyline").
+		SetAttr("ops", len(g.Ops())).
+		SetAttr("with_optional", withOptional)
+	defer span.End()
+	iterations := sk.Opts.Metrics.Counter("idxflow_skyline_iterations_total",
+		"Skyline list-scheduler iterations (one per operator placed).")
+	candidates := sk.Opts.Metrics.Counter("idxflow_skyline_candidates_total",
+		"Candidate partial schedules generated across skyline iterations.")
+	frontier := sk.Opts.Metrics.Histogram("idxflow_skyline_frontier_size",
+		"Pareto frontier size after each skyline iteration.",
+		telemetry.ExponentialBuckets(1, 2, 8))
+
 	topo, err := g.TopoSort()
 	if err != nil {
 		return nil
@@ -245,6 +268,7 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 	}
 
 	for _, st := range order {
+		iterations.Inc()
 		if st.optional {
 			// Union of the previous skyline and every gap placement
 			// (§5.3.2: "the previous skyline is kept and unioned with the
@@ -259,7 +283,9 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 					cands = append(cands, candidate{s: ns, p: ns.point()})
 				}
 			}
+			candidates.Add(float64(len(cands)))
 			sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+			frontier.Observe(float64(len(sky)))
 			continue
 		}
 		var cands []candidate
@@ -294,9 +320,12 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 		if len(cands) == 0 {
 			return nil
 		}
+		candidates.Add(float64(len(cands)))
 		sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+		frontier.Observe(float64(len(sky)))
 	}
 
+	span.SetAttr("frontier", len(sky))
 	out := make([]*Schedule, len(sky))
 	for i, c := range sky {
 		out[i] = c.s

@@ -7,12 +7,16 @@
 //
 //	POST /v1/dataflows       submit one dataflow in flowlang format
 //	GET  /v1/indexes         the current index states
-//	GET  /v1/metrics         service counters
+//	GET  /v1/metrics         service counters (JSON)
 //	GET  /v1/tables          the catalog's tables
+//	GET  /metrics            Prometheus text exposition of the telemetry registry
+//	GET  /metrics.json       alias of /v1/metrics for scrapers expecting JSON
 //	GET  /healthz            liveness
 //
 // The core service processes dataflows sequentially (§3); the server
-// serializes submissions with a mutex accordingly.
+// serializes all service access with one mutex accordingly. The telemetry
+// registry is internally synchronized, so /metrics scrapes never block a
+// running submission.
 package server
 
 import (
@@ -47,11 +51,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	reqs := s.svc.Telemetry().CounterVec("idxflow_http_requests_total",
+		"HTTP requests served, by route pattern.", "route")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			reqs.With(pattern).Inc()
+		} else {
+			reqs.With("unmatched").Inc()
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handlePrometheus renders the service's telemetry registry in the
+// Prometheus text exposition format. The registry synchronizes itself, so
+// no server lock is taken and scrapes cannot delay submissions.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.svc.Telemetry().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // SubmitResponse is the JSON result of a dataflow submission.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"idxflow/internal/core"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -20,6 +21,9 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	cfg := core.DefaultConfig()
 	cfg.Sched.MaxSkyline = 4
 	cfg.Sched.MaxContainers = 10
+	// A per-test registry keeps counter assertions independent of other
+	// tests sharing the package-level default.
+	cfg.Telemetry = telemetry.NewRegistry()
 	s := New(core.NewService(cfg, db), db)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)

@@ -14,6 +14,7 @@ import (
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
 	"idxflow/internal/sched"
+	"idxflow/internal/telemetry"
 )
 
 // Config parameterizes an execution.
@@ -31,6 +32,49 @@ type Config struct {
 	// surviving across executions (the paper's containers cache partitions
 	// between dataflows). Nil with SizeOf set means fresh caches.
 	Caches map[int]*cloud.LRUCache
+	// Metrics, when non-nil, receives executor counters and histograms
+	// (operator run/wait times, builds killed, cache traffic, quanta
+	// charged).
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records an execution span.
+	Tracer *telemetry.Tracer
+}
+
+// instruments bundles the executor's metric handles; all fields are
+// nil-safe no-ops when Config.Metrics is nil.
+type instruments struct {
+	opRun           *telemetry.HistogramVec
+	opWait          *telemetry.Histogram
+	buildsKilled    *telemetry.Counter
+	buildsCompleted *telemetry.Counter
+	quantaCharged   *telemetry.Counter
+	fragmentation   *telemetry.Counter
+	transferredMB   *telemetry.Counter
+}
+
+// PreregisterMetrics creates the executor's metric families in reg so
+// they appear in a /metrics scrape before the first execution.
+func PreregisterMetrics(reg *telemetry.Registry) { newInstruments(reg) }
+
+func newInstruments(reg *telemetry.Registry) instruments {
+	return instruments{
+		opRun: reg.HistogramVec("idxflow_op_run_seconds",
+			"Realized operator occupancy per execution, by operator kind.",
+			telemetry.ExponentialBuckets(0.5, 2, 12), "kind"),
+		opWait: reg.Histogram("idxflow_op_wait_seconds",
+			"Time an operator's inputs sat ready while its container was busy.",
+			telemetry.ExponentialBuckets(0.5, 2, 12)),
+		buildsKilled: reg.Counter("idxflow_builds_killed_total",
+			"Index-build operators stopped by preemption or quantum expiry."),
+		buildsCompleted: reg.Counter("idxflow_builds_completed_total",
+			"Index-build operators that finished inside their idle slot."),
+		quantaCharged: reg.Counter("idxflow_quanta_charged_total",
+			"VM quanta charged for realized executions (price-weighted)."),
+		fragmentation: reg.Counter("idxflow_fragmentation_seconds_total",
+			"Paid-but-idle container seconds across executions."),
+		transferredMB: reg.Counter("idxflow_sim_transferred_mb_total",
+			"MB read from the storage service on container cache misses."),
+	}
 }
 
 // OpResult is the realized execution of one operator.
@@ -68,6 +112,13 @@ type Result struct {
 
 // Execute runs the planned schedule and returns the realized execution.
 func Execute(s *sched.Schedule, cfg Config) Result {
+	if cfg.Tracer == nil {
+		// Disabled unless a -trace flag enabled the package-level tracer.
+		cfg.Tracer = telemetry.DefaultTracer()
+	}
+	span := cfg.Tracer.StartSpan("sim.execute").SetAttr("ops", s.Assigned())
+	defer span.End()
+	ins := newInstruments(cfg.Metrics)
 	actual := cfg.Actual
 	if actual == nil {
 		actual = func(op *dataflow.Operator) float64 { return op.Time }
@@ -112,7 +163,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	for _, a := range flowOps {
 		op := g.Op(a.Op)
 		ctype := s.ContainerType(a.Container)
-		start := contClock[a.Container]
+		// ready is when the operator's inputs have arrived; the realized
+		// start is the later of that and the container coming free.
+		ready := 0.0
 		for _, e := range g.In(a.Op) {
 			pr, ok := res.Ops[e.From]
 			if !ok {
@@ -122,17 +175,22 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			if pr.Container != a.Container {
 				t += ctype.Spec.TransferSeconds(e.Size)
 			}
-			if t > start {
-				start = t
+			if t > ready {
+				ready = t
 			}
 		}
+		start := contClock[a.Container]
+		if ready > start {
+			start = ready
+		}
+		ins.opWait.Observe(start - ready)
 		dur := actual(op) / ctype.SpeedFactor
 		// Input reads: a cache miss transfers the partition from the
 		// storage service before the operator can run (§6.1).
 		if cfg.SizeOf != nil && len(op.Reads) > 0 {
 			c := caches[a.Container]
 			if c == nil {
-				c = cloud.NewLRUCache(ctype.Spec.DiskMB)
+				c = cloud.NewLRUCache(ctype.Spec.DiskMB).Instrument(cfg.Metrics)
 				caches[a.Container] = c
 			}
 			for _, path := range op.Reads {
@@ -148,6 +206,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			}
 		}
 		end := start + dur
+		ins.opRun.With(op.Kind.String()).Observe(dur)
 		res.Ops[a.Op] = OpResult{
 			Op: a.Op, Container: a.Container,
 			Start: start, End: end, Completed: true,
@@ -234,6 +293,12 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 				r.Completed = true
 				res.CompletedBuilds = append(res.CompletedBuilds, a.Op)
 			}
+			if r.Killed {
+				ins.buildsKilled.Inc()
+			} else {
+				ins.buildsCompleted.Inc()
+			}
+			ins.opRun.With(op.Kind.String()).Observe(r.End - r.Start)
 			res.Ops[a.Op] = r
 			clock = r.End
 		}
@@ -276,5 +341,13 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		res.MoneyQuanta += float64(cfg.Pricing.Quanta(leaseEnd[c])) * w
 	}
 	res.Fragmentation = leased - busy
+
+	ins.quantaCharged.Add(res.MoneyQuanta)
+	ins.fragmentation.Add(res.Fragmentation)
+	ins.transferredMB.Add(res.TransferredMB)
+	span.SetAttr("makespan_seconds", res.Makespan).
+		SetAttr("money_quanta", res.MoneyQuanta).
+		SetAttr("builds_killed", res.Killed).
+		SetAttr("builds_completed", len(res.CompletedBuilds))
 	return res
 }

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden locks the exact text exposition output:
+// sorted families, HELP/TYPE headers, labeled series, histogram
+// _bucket/_sum/_count with a +Inf bucket.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("idxflow_flows_finished_total", "Dataflows finished within the horizon.").Add(3)
+	r.Gauge("idxflow_storage_mb", "Built index bytes in the storage service.").Set(12.5)
+	h := r.Histogram("idxflow_flow_makespan_seconds", "Realized dataflow makespan.", []float64{60, 120, 240})
+	h.Observe(50)
+	h.Observe(100)
+	h.Observe(500)
+	vec := r.CounterVec("idxflow_http_requests_total", "HTTP requests served.", "path", "code")
+	vec.With("/metrics", "200").Add(2)
+	vec.With("/v1/dataflows", "200").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP idxflow_flow_makespan_seconds Realized dataflow makespan.
+# TYPE idxflow_flow_makespan_seconds histogram
+idxflow_flow_makespan_seconds_bucket{le="60"} 1
+idxflow_flow_makespan_seconds_bucket{le="120"} 2
+idxflow_flow_makespan_seconds_bucket{le="240"} 2
+idxflow_flow_makespan_seconds_bucket{le="+Inf"} 3
+idxflow_flow_makespan_seconds_sum 650
+idxflow_flow_makespan_seconds_count 3
+# HELP idxflow_flows_finished_total Dataflows finished within the horizon.
+# TYPE idxflow_flows_finished_total counter
+idxflow_flows_finished_total 3
+# HELP idxflow_http_requests_total HTTP requests served.
+# TYPE idxflow_http_requests_total counter
+idxflow_http_requests_total{path="/metrics",code="200"} 2
+idxflow_http_requests_total{path="/v1/dataflows",code="200"} 1
+# HELP idxflow_storage_mb Built index bytes in the storage service.
+# TYPE idxflow_storage_mb gauge
+idxflow_storage_mb 12.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line1\nline2 with \\ backslash", "path").
+		With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line1\nline2 with \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one completed span in the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a "complete" event ("ph":"X") with microsecond timestamp and duration
+// relative to the start of the trace.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds since trace start
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records nested spans. Create one with NewTracer; a nil Tracer,
+// or one that is disabled, hands out nil Spans whose methods are no-ops,
+// so tracing can stay threaded through hot paths at negligible cost.
+type Tracer struct {
+	mu      sync.Mutex
+	enabled bool
+	epoch   time.Time
+	events  []Event
+	depth   int // open spans, for the nesting sanity check in tests
+	now     func() time.Time
+}
+
+// NewTracer returns an enabled tracer whose timestamps are relative to
+// now.
+func NewTracer() *Tracer {
+	return &Tracer{enabled: true, epoch: time.Now(), now: time.Now}
+}
+
+var stdTracer = &Tracer{epoch: time.Now(), now: time.Now} // disabled until asked for
+
+// DefaultTracer returns the package-level tracer. It starts disabled:
+// spans cost one nil check until SetEnabled(true) — how the -trace CLI
+// flags switch tracing on for code that defaulted to this tracer.
+func DefaultTracer() *Tracer { return stdTracer }
+
+// SetEnabled turns span recording on or off. Enabling resets the epoch so
+// timestamps start near zero.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if on && !t.enabled {
+		t.epoch = t.now()
+	}
+	t.enabled = on
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// Span is one in-flight operation. End completes it; SetAttr attaches a
+// key/value rendered into the Chrome trace "args". A nil Span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	args  map[string]any
+	ended bool
+}
+
+// StartSpan opens a span. Nest spans by starting and ending them in LIFO
+// order on one goroutine; chrome://tracing infers the hierarchy from the
+// containment of [ts, ts+dur] intervals on the same thread lane.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if !t.enabled {
+		t.mu.Unlock()
+		return nil
+	}
+	t.depth++
+	now := t.now()
+	t.mu.Unlock()
+	return &Span{t: t, name: name, start: now}
+}
+
+// SetAttr attaches an attribute to the span. Values must be
+// JSON-serializable (numbers, strings, bools, maps, slices).
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End completes the span and records its event. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now()
+	t.depth--
+	t.events = append(t.events, Event{
+		Name:  s.name,
+		Cat:   "idxflow",
+		Phase: "X",
+		TS:    float64(s.start.Sub(t.epoch)) / float64(time.Microsecond),
+		Dur:   float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID:   1,
+		TID:   1,
+		Args:  s.args,
+	})
+}
+
+// Events returns a copy of the recorded events in completion order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset discards all recorded events and restarts the epoch.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.epoch = t.now()
+}
+
+// chromeTrace is the JSON object format accepted by chrome://tracing and
+// Perfetto.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace-event JSON
+// object, loadable directly in chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteJSONL writes one event per line — convenient for grep/jq pipelines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadChromeTrace parses a trace written by WriteChromeTrace. It also
+// accepts the bare-array variant of the format.
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var obj chromeTrace
+	if err := json.Unmarshal(data, &obj); err == nil && obj.TraceEvents != nil {
+		return obj.TraceEvents, nil
+	}
+	var arr []Event
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return nil, fmt.Errorf("telemetry: not a chrome trace: %w", err)
+	}
+	return arr, nil
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed amount per reading so span durations are
+// deterministic.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newFakeTracer(step time.Duration) *Tracer {
+	c := &fakeClock{t: time.Unix(1000, 0), step: step}
+	tr := &Tracer{enabled: true, now: c.now}
+	tr.epoch = c.t
+	return tr
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := newFakeTracer(time.Millisecond)
+	outer := tr.StartSpan("service.submit").SetAttr("flow", "f1")
+	inner := tr.StartSpan("sched.skyline").SetAttr("ops", 12)
+	inner.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// Completion order: inner first.
+	in, out := events[0], events[1]
+	if in.Name != "sched.skyline" || out.Name != "service.submit" {
+		t.Fatalf("names = %q, %q", in.Name, out.Name)
+	}
+	if in.Phase != "X" || out.Phase != "X" {
+		t.Errorf("phases = %q, %q, want X", in.Phase, out.Phase)
+	}
+	// Nesting: the inner span's [ts, ts+dur] lies inside the outer's.
+	if in.TS < out.TS || in.TS+in.Dur > out.TS+out.Dur {
+		t.Errorf("inner span [%g,%g] not inside outer [%g,%g]",
+			in.TS, in.TS+in.Dur, out.TS, out.TS+out.Dur)
+	}
+	if out.Args["flow"] != "f1" {
+		t.Errorf("outer args = %v", out.Args)
+	}
+	if in.Args["ops"] != float64(12) { // JSON numbers decode as float64
+		t.Errorf("inner args = %v", in.Args)
+	}
+}
+
+func TestReadChromeTraceBareArray(t *testing.T) {
+	events, err := ReadChromeTrace(strings.NewReader(
+		`[{"name":"a","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "a" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage parsed as a trace")
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := &Tracer{now: time.Now}
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Error("disabled tracer returned a live span")
+	}
+	sp.SetAttr("k", 1)
+	sp.End()
+	if tr.Len() != 0 {
+		t.Errorf("events = %d, want 0", tr.Len())
+	}
+	tr.SetEnabled(true)
+	tr.StartSpan("y").End()
+	if tr.Len() != 1 {
+		t.Errorf("events after enable = %d, want 1", tr.Len())
+	}
+}
+
+func TestJSONL(t *testing.T) {
+	tr := newFakeTracer(time.Millisecond)
+	tr.StartSpan("a").End()
+	tr.StartSpan("b").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+}
+
+func TestEndTwiceIsNoOp(t *testing.T) {
+	tr := newFakeTracer(time.Millisecond)
+	sp := tr.StartSpan("once")
+	sp.End()
+	sp.End()
+	if tr.Len() != 1 {
+		t.Errorf("events = %d, want 1", tr.Len())
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := newFakeTracer(time.Millisecond)
+	tr.StartSpan("a").End()
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("events after reset = %d", tr.Len())
+	}
+}
