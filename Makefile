@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench clean
+.PHONY: all build test race vet fmt-check ci bench bench-short clean
 
 all: build
 
@@ -25,7 +25,10 @@ fmt-check:
 ci: fmt-check vet build race
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	scripts/bench.sh
+
+bench-short:
+	scripts/bench.sh -short /dev/null
 
 clean:
 	$(GO) clean ./...

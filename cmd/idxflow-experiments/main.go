@@ -14,13 +14,17 @@
 // Experiment ids: params, table4, table5, table6, fig3, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12 (phase workload, includes table7 and fig13),
 // table6disk (Table 6 against the disk-backed paged storage engine),
-// fig14 (random workload), ablation (design-knob sweeps; not in "all"), all.
+// fig14 (random workload), fault (robustness under injected container
+// crashes, spot revocations, storage errors and stragglers; -faults and
+// -fault-seed control the sweep), ablation (design-knob sweeps; not in
+// "all"), all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"idxflow/internal/experiments"
@@ -35,6 +39,8 @@ func main() {
 		scale    = flag.Float64("scale", 0.05, "TPC-H scale factor for table6 (paper: 2)")
 		trials   = flag.Int("trials", 3, "trials per point for fig6/fig7")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
+		faults   = flag.String("faults", "", "comma-separated fault rates (events/container/quantum) for -exp fault; empty = default sweep")
+		faultSd  = flag.Int64("fault-seed", 42, "seed for the generated fault plans of -exp fault")
 	)
 	flag.Parse()
 
@@ -130,6 +136,16 @@ func main() {
 		fmt.Println(res.Finished)
 		fmt.Println(res.Cost)
 	}
+	if run("fault") {
+		rates, err := parseRates(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fault:", err)
+			os.Exit(1)
+		}
+		res := experiments.Fault(*seed, *faultSd, rates, horizonSec)
+		fmt.Println(res.Robustness)
+		fmt.Println(res.Recovery)
+	}
 	if !anyKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -137,11 +153,31 @@ func main() {
 }
 
 func anyKnown(id string) bool {
-	known := "all params table4 table5 table6 table6disk fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table7 fig13 fig14 ablation"
+	known := "all params table4 table5 table6 table6disk fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table7 fig13 fig14 fault ablation"
 	for _, k := range strings.Fields(known) {
 		if id == k {
 			return true
 		}
 	}
 	return false
+}
+
+// parseRates parses the -faults flag: a comma-separated list of
+// per-container-per-quantum fault rates. Empty means the default sweep.
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q: %v", f, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("fault rate %g must be >= 0", v)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
 }

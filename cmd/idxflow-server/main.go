@@ -4,17 +4,22 @@
 // the service state, and GET /metrics serves the telemetry registry in the
 // Prometheus text exposition format.
 //
+// On SIGINT/SIGTERM the server shuts down gracefully: the listener closes
+// immediately and in-flight requests get -drain to finish.
+//
 // Usage:
 //
-//	idxflow-server [-addr :8080] [-strategy gain] [-seed 1]
+//	idxflow-server [-addr :8080] [-strategy gain] [-seed 1] [-drain 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"idxflow/internal/core"
 	"idxflow/internal/server"
@@ -26,6 +31,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		strategy = flag.String("strategy", "gain", "no-index | random | gain-no-delete | gain")
 		seed     = flag.Int64("seed", 1, "random seed for the file database")
+		drain    = flag.Duration("drain", server.DefaultDrainTimeout, "in-flight request drain timeout on shutdown")
 	)
 	flag.Parse()
 
@@ -52,5 +58,13 @@ func main() {
 	srv := server.New(svc, db)
 	log.Printf("idxflow-server listening on %s (strategy %s, %d tables, %d potential indexes)",
 		*addr, cfg.Strategy, len(db.Files), len(db.Catalog.IndexNames()))
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	// SIGINT/SIGTERM cancel the context; in-flight submissions drain
+	// before the process exits instead of dying mid-execution.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("idxflow-server: drained, shutting down")
 }

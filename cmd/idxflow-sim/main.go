@@ -5,6 +5,7 @@
 //
 //	idxflow-sim [-strategy gain] [-generator phase] [-horizon 720]
 //	            [-algo lp] [-seed 1] [-error 0.1] [-v] [-trace out.json]
+//	            [-faults 0.01] [-fault-seed 42]
 //	idxflow-sim -flow path/to/flow.txt [-flow more.txt]  # submit flowlang files
 //
 // With -trace, the scheduler/executor span timeline of the run is written
@@ -19,6 +20,7 @@ import (
 
 	"idxflow/internal/core"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/fault"
 	"idxflow/internal/flowlang"
 	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
@@ -41,6 +43,8 @@ func main() {
 		horizon   = flag.Float64("horizon", 720, "horizon in quanta")
 		seed      = flag.Int64("seed", 1, "random seed")
 		errPct    = flag.Float64("error", 0.1, "runtime estimation error fraction (0..1)")
+		faults    = flag.Float64("faults", 0, "fault rate in events/container/quantum (crashes, revocations, storage errors, stragglers)")
+		faultSeed = flag.Int64("fault-seed", 42, "seed for the generated fault plan")
 		verbose   = flag.Bool("v", false, "print per-dataflow results")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
 	)
@@ -117,6 +121,10 @@ func main() {
 		}
 	}
 
+	if *faults > 0 {
+		q := cfg.Sched.Pricing.QuantumSeconds
+		cfg.Faults = fault.Generate(fault.DefaultRates(*faults, q, horizonSec), *faultSeed)
+	}
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer()
 	}
@@ -160,6 +168,10 @@ func main() {
 	fmt.Printf("cost per dataflow: $%.3f\n", m.CostPerFlow)
 	fmt.Printf("operators:         %d total, %d killed (%.1f%%)\n",
 		m.TotalOps, m.KilledOps, pct(m.KilledOps, m.TotalOps))
+	if *faults > 0 {
+		fmt.Printf("faults:            %d injected, %d recovered, %d ops re-placed, %.1f quanta wasted\n",
+			m.FaultsInjected, m.FaultsRecovered, m.ReplacedOps, m.WastedQuanta)
+	}
 	fmt.Printf("indexes available: %d (storage %.1f MB)\n",
 		len(svc.Catalog().AvailableSet()), svc.Catalog().BuiltSizeMB())
 }

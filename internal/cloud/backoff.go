@@ -1,0 +1,77 @@
+package cloud
+
+import (
+	"math"
+)
+
+// Backoff is a capped exponential backoff policy with deterministic
+// jitter, used to retry transient storage-service errors (network blips,
+// throttling) without hammering the service or synchronizing retries
+// across containers. It is pure arithmetic: the jitter is derived from the
+// attempt number and a caller-supplied salt, so a retried execution is
+// reproducible bit for bit.
+type Backoff struct {
+	// BaseSeconds is the first retry delay (default 1 s).
+	BaseSeconds float64
+	// CapSeconds bounds any single delay (default 30 s).
+	CapSeconds float64
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+}
+
+// DefaultBackoff returns the storage-retry policy: 1 s base, doubling,
+// capped at 30 s.
+func DefaultBackoff() Backoff {
+	return Backoff{BaseSeconds: 1, CapSeconds: 30, Factor: 2}
+}
+
+// withDefaults fills zero fields so the zero value is usable.
+func (b Backoff) withDefaults() Backoff {
+	if b.BaseSeconds <= 0 {
+		b.BaseSeconds = 1
+	}
+	if b.CapSeconds <= 0 {
+		b.CapSeconds = 30
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the wait before retry attempt (0-based): the capped
+// exponential base*Factor^attempt, jittered to 50–100% of its value by a
+// deterministic hash of (attempt, salt) — "equal jitter", which keeps the
+// expected delay while decorrelating concurrent retriers.
+func (b Backoff) Delay(attempt int, salt int64) float64 {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.BaseSeconds * math.Pow(b.Factor, float64(attempt))
+	if d > b.CapSeconds {
+		d = b.CapSeconds
+	}
+	return d/2 + d/2*jitter01(attempt, salt)
+}
+
+// TotalDelay returns the summed wait across `attempts` failed tries — the
+// extra seconds a transfer loses to a transient error that succeeds on the
+// attempt after.
+func (b Backoff) TotalDelay(attempts int, salt int64) float64 {
+	var total float64
+	for i := 0; i < attempts; i++ {
+		total += b.Delay(i, salt)
+	}
+	return total
+}
+
+// jitter01 maps (attempt, salt) to [0, 1) with a splitmix64-style hash:
+// deterministic, uniform enough to decorrelate retries, dependency-free.
+func jitter01(attempt int, salt int64) float64 {
+	z := uint64(salt) + uint64(attempt)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,57 @@
+package cloud
+
+import "testing"
+
+func TestBackoffDelayBoundsAndGrowth(t *testing.T) {
+	b := DefaultBackoff()
+	prevMax := 0.0
+	for attempt := 0; attempt < 10; attempt++ {
+		d := b.Delay(attempt, 1)
+		// Equal jitter keeps each delay within [half, full] of the capped
+		// exponential.
+		full := 1.0
+		for i := 0; i < attempt; i++ {
+			full *= 2
+		}
+		if full > b.CapSeconds {
+			full = b.CapSeconds
+		}
+		if d < full/2 || d >= full {
+			t.Errorf("attempt %d: delay %g outside [%g, %g)", attempt, d, full/2, full)
+		}
+		if full >= prevMax {
+			prevMax = full
+		}
+	}
+	// The cap binds for late attempts.
+	if d := b.Delay(50, 1); d >= b.CapSeconds {
+		t.Errorf("capped delay %g >= cap %g", d, b.CapSeconds)
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{} // zero value usable via defaults
+	if b.Delay(3, 9) != b.Delay(3, 9) {
+		t.Error("same (attempt, salt) gave different delays")
+	}
+	if b.Delay(3, 9) == b.Delay(3, 10) {
+		t.Error("different salts gave identical jitter")
+	}
+	if b.Delay(-5, 1) != b.Delay(0, 1) {
+		t.Error("negative attempt should clamp to 0")
+	}
+}
+
+func TestBackoffTotalDelay(t *testing.T) {
+	b := DefaultBackoff()
+	var sum float64
+	for i := 0; i < 4; i++ {
+		sum += b.Delay(i, 77)
+	}
+	if got := b.TotalDelay(4, 77); got != sum {
+		t.Errorf("TotalDelay = %g, want the sum of per-attempt delays %g", got, sum)
+	}
+	if b.TotalDelay(0, 1) != 0 {
+		t.Error("zero attempts should cost nothing")
+	}
+}

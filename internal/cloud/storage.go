@@ -95,11 +95,13 @@ func (s *Storage) Delete(path string) bool {
 	return true
 }
 
-// TotalMB returns the total stored size.
+// TotalMB returns the total stored size. The sum runs in sorted path
+// order: float addition is not associative, and accrued cost must be
+// bit-identical across repeated runs for reproducible experiments.
 func (s *Storage) TotalMB() float64 {
 	var sum float64
-	for _, sz := range s.files {
-		sum += sz
+	for _, p := range s.Paths() {
+		sum += s.files[p]
 	}
 	return sum
 }

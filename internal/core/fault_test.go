@@ -1,0 +1,113 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"idxflow/internal/fault"
+	"idxflow/internal/workload"
+)
+
+// heavyFaultPlan covers the first ~20k service seconds with enough churn
+// that several executions are hit.
+func heavyFaultPlan() *fault.Plan {
+	return fault.Generate(fault.DefaultRates(0.05, 60, 20000), 11)
+}
+
+func runFaulty(t *testing.T, n int) (*Service, *workload.FileDB, Metrics) {
+	t.Helper()
+	db := testDB(t)
+	gen := workload.NewGenerator(db, 2)
+	cfg := quickConfig(Gain)
+	cfg.Faults = heavyFaultPlan()
+	svc := NewService(cfg, db)
+	for i := 0; i < n; i++ {
+		svc.Submit(gen.Flow(workload.Montage, i, svc.Clock()))
+	}
+	// Run with no new flows just aggregates the accumulated metrics.
+	m := svc.Run(nil, svc.Clock()+1)
+	return svc, db, m
+}
+
+func TestFaultInjectionHealsIndexBuilds(t *testing.T) {
+	svc, db, m := runFaulty(t, 8)
+	if m.FaultsInjected == 0 {
+		t.Fatal("the heavy fault plan injected nothing; the wiring is dead")
+	}
+	if m.FaultsRecovered == 0 && m.WastedQuanta == 0 {
+		t.Error("faults injected but neither recovered nor accounted as wasted quanta")
+	}
+	// Self-healing: the tuner still gets its indexes built despite builds
+	// dying with their containers.
+	built := 0
+	for _, r := range m.Results {
+		built += r.BuildsCompleted
+	}
+	if built == 0 {
+		t.Error("no index partition was ever built under faults")
+	}
+	if len(db.Catalog.AvailableSet()) == 0 {
+		t.Error("no index available after a faulty run")
+	}
+	// No phantom partitions: every partition the catalog says is built
+	// must exist in the storage service — a build killed by a crash must
+	// not have been committed.
+	snap := svc.Snapshot()
+	for name, parts := range snap.Built {
+		idx := db.Catalog.State(name).Index
+		for _, p := range parts {
+			if _, ok := snap.StorageFiles[idx.PartitionPath(p.ID)]; !ok {
+				t.Errorf("index %s partition %d is marked built but has no storage object", name, p.ID)
+			}
+		}
+	}
+}
+
+func TestFaultyRunDeterministic(t *testing.T) {
+	_, _, m1 := runFaulty(t, 5)
+	_, _, m2 := runFaulty(t, 5)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("identical faulty runs produced different metrics")
+	}
+}
+
+// Satellite: core.Snapshot/RestoreSnapshot round-trip after a faulty run.
+// The restored service must not resurrect partitions whose builds died
+// with a crashed container, and the accounting totals must match.
+func TestSnapshotRoundTripAfterFaultyRun(t *testing.T) {
+	svc, db, m := runFaulty(t, 8)
+	if m.FaultsInjected == 0 {
+		t.Fatal("fault plan injected nothing; the round-trip would not exercise recovery")
+	}
+	snap := svc.Snapshot()
+
+	// Restore into a fresh service over an identical file database.
+	db2 := testDB(t)
+	cfg := quickConfig(Gain)
+	cfg.Faults = heavyFaultPlan()
+	svc2 := NewService(cfg, db2)
+	if err := svc2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same built partitions, partition for partition: nothing lost to a
+	// crash may reappear, nothing built may vanish.
+	for _, name := range db.Catalog.IndexNames() {
+		st1, st2 := db.Catalog.State(name), db2.Catalog.State(name)
+		for _, p := range st1.Index.Table.Partitions {
+			b1, b2 := st1.Part(p.ID).Built, st2.Part(p.ID).Built
+			if b1 != b2 {
+				t.Errorf("index %s partition %d: built=%v restored=%v", name, p.ID, b1, b2)
+			}
+		}
+	}
+	// Accounting round-trips exactly: a second snapshot of the restored
+	// service is identical to the first.
+	snap2 := svc2.Snapshot()
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Error("snapshot of the restored service differs from the original")
+	}
+	if svc2.Clock() != svc.Clock() {
+		t.Errorf("clock %g != %g after restore", svc2.Clock(), svc.Clock())
+	}
+}

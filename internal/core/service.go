@@ -14,6 +14,7 @@ import (
 	"idxflow/internal/cloud"
 	"idxflow/internal/data"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/fault"
 	"idxflow/internal/gain"
 	"idxflow/internal/interleave"
 	"idxflow/internal/sched"
@@ -74,6 +75,15 @@ type Config struct {
 	// uniformly within ±RuntimeError (e.g. 0.2 = 20%), for the Fig. 6
 	// robustness experiment.
 	RuntimeError float64
+	// Faults, when non-nil, injects infrastructure faults: each execution
+	// receives the plan's events that fall inside its service-time window
+	// (container crashes, spot revocations, storage errors, stragglers).
+	// Builds killed mid-flight are never committed, so their partitions
+	// stay missing and the tuner rebuilds them in later idle slots.
+	Faults *fault.Plan
+	// Backoff is the retry policy for transient storage errors; the zero
+	// value means cloud.DefaultBackoff().
+	Backoff cloud.Backoff
 	// DeletionGraceQuanta adds hysteresis to Algorithm 1's deletion: a
 	// built index is only dropped if, besides having non-positive gains,
 	// it has not been used by any dataflow for this many quanta. Zero
@@ -153,6 +163,15 @@ type FlowResult struct {
 	Deleted []string
 	// TotalOps counts every operator handed to the executor.
 	TotalOps int
+	// FaultsInjected and FaultsRecovered count fault events that took
+	// effect during this execution and the effects absorbed (re-placed
+	// operators, retried transfers, ridden-out stragglers).
+	FaultsInjected, FaultsRecovered int
+	// ReplacedOps counts dataflow operators re-placed onto surviving
+	// containers after a container failure.
+	ReplacedOps int
+	// WastedQuanta is paid compute discarded by faults, in quanta.
+	WastedQuanta float64
 }
 
 // TimePoint samples the index set over time for Fig. 13.
@@ -177,8 +196,13 @@ type Metrics struct {
 	MeanMakespan float64
 	// CostPerFlow is (VM + storage cost) / finished flows.
 	CostPerFlow float64
-	Timeline    []TimePoint
-	Results     []FlowResult
+	// FaultsInjected, FaultsRecovered, ReplacedOps and WastedQuanta
+	// aggregate the fault subsystem's effects across the run: every
+	// injected fault is either recovered or shows up in WastedQuanta.
+	FaultsInjected, FaultsRecovered, ReplacedOps int
+	WastedQuanta                                 float64
+	Timeline                                     []TimePoint
+	Results                                      []FlowResult
 }
 
 // Service is the QaaS service instance.
@@ -605,9 +629,12 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		s.scheduleDedicatedBuilds(chosen, builds)
 	}
 
-	// Execute with the configured runtime-error injection.
+	// Execute with the configured runtime-error and fault injection. The
+	// fault plan holds absolute service times; the execution sees the
+	// window starting at the current clock, shifted to relative seconds.
 	cfg := sim.Config{
 		Pricing: s.cfg.Sched.Pricing, Spec: s.cfg.Sched.Spec,
+		Faults: s.cfg.Faults.From(s.clock), Backoff: s.cfg.Backoff,
 		Metrics: s.tel, Tracer: s.tracer,
 	}
 	if s.cfg.RuntimeError > 0 {
@@ -622,7 +649,15 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 	res.MoneyQuanta = run.MoneyQuanta
 	res.BuildsKilled = run.Killed
 	res.TotalOps = chosen.Assigned()
+	res.FaultsInjected = run.FaultsInjected
+	res.FaultsRecovered = run.FaultsRecovered
+	res.ReplacedOps = run.ReplacedOps
+	res.WastedQuanta = run.WastedQuanta
 	s.vmQ += run.MoneyQuanta
+	s.metrics.FaultsInjected += run.FaultsInjected
+	s.metrics.FaultsRecovered += run.FaultsRecovered
+	s.metrics.ReplacedOps += run.ReplacedOps
+	s.metrics.WastedQuanta += run.WastedQuanta
 
 	// Commit completed index builds to the catalog and storage.
 	byOp := make(map[dataflow.OpID]buildCandidate, len(builds))
@@ -662,6 +697,12 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		SetAttr("money_quanta", run.MoneyQuanta).
 		SetAttr("builds_completed", res.BuildsCompleted).
 		SetAttr("builds_killed", res.BuildsKilled)
+	if run.FaultsInjected > 0 {
+		span.SetAttr("faults_injected", run.FaultsInjected).
+			SetAttr("faults_recovered", run.FaultsRecovered).
+			SetAttr("ops_replaced", run.ReplacedOps).
+			SetAttr("wasted_quanta", run.WastedQuanta)
+	}
 
 	s.metrics.Results = append(s.metrics.Results, res)
 	s.metrics.Timeline = append(s.metrics.Timeline, TimePoint{

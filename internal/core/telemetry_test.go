@@ -98,6 +98,11 @@ func TestServiceMetricsExposition(t *testing.T) {
 		"idxflow_build_ops_offered_total",
 		"idxflow_storage_cost_dollars_total",
 		"idxflow_gain_candidates_evaluated_total",
+		// Fault families are pre-registered so a scrape sees them even on
+		// a fault-free service.
+		"# TYPE idxflow_faults_injected_total counter",
+		"# TYPE idxflow_recoveries_total counter",
+		"# TYPE idxflow_wasted_quanta_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"idxflow/internal/core"
+)
+
+func TestFaultExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault experiment is a full dynamic run")
+	}
+	rates := []float64{0, 0.01, 0.025}
+	res := Fault(1, 42, rates, 90*60)
+	if len(res.Metrics) != len(rates) {
+		t.Fatalf("metrics for %d rates, want %d", len(res.Metrics), len(rates))
+	}
+	anyInjected := false
+	for i, rate := range rates {
+		mNo := res.Metrics[i][core.NoIndex]
+		mGain := res.Metrics[i][core.Gain]
+		// The acceptance bar: Gain's throughput stays at or above
+		// No-Index at every tested fault rate.
+		if mGain.FlowsFinished < mNo.FlowsFinished {
+			t.Errorf("rate %g: Gain finished %d < No-Index %d", rate, mGain.FlowsFinished, mNo.FlowsFinished)
+		}
+		for _, m := range []core.Metrics{mNo, mGain} {
+			if rate == 0 && m.FaultsInjected != 0 {
+				t.Errorf("rate 0 injected %d faults", m.FaultsInjected)
+			}
+			if m.FaultsInjected > 0 {
+				anyInjected = true
+				// Every injected fault is recovered or accounted as waste.
+				if m.FaultsRecovered == 0 && m.WastedQuanta == 0 {
+					t.Errorf("rate %g: %d faults injected, none recovered or wasted", rate, m.FaultsInjected)
+				}
+			}
+		}
+	}
+	if !anyInjected {
+		t.Error("no fault was injected at any non-zero rate; the sweep tests nothing")
+	}
+	if len(res.Robustness.Rows) != 2*len(rates) || len(res.Recovery.Rows) != 2*len(rates) {
+		t.Errorf("table rows = %d/%d, want %d each",
+			len(res.Robustness.Rows), len(res.Recovery.Rows), 2*len(rates))
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long Serve waits for in-flight requests
+// after a shutdown signal before closing their connections.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Serve runs the server's handler on the listener until ctx is cancelled,
+// then drains gracefully: the listener closes immediately (no new
+// connections), in-flight requests get up to drainTimeout to finish, and
+// only then are the remaining connections forcibly closed. A long
+// dataflow execution therefore completes and its response is delivered
+// even when the operator hits Ctrl-C mid-submit.
+//
+// ready, if non-nil, is closed once the listener is accepting — tests use
+// it to avoid racing the startup. Serve returns nil after a clean drain,
+// the shutdown error if the drain deadline expired, or the serve error if
+// the listener failed before ctx was cancelled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration, ready chan<- struct{}) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	if ready != nil {
+		close(ready)
+	}
+	select {
+	case err := <-errc:
+		// The listener died on its own (port stolen, closed externally).
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	// Serve always returns ErrServerClosed after Shutdown; drain it so the
+	// goroutine never leaks.
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and calls Serve. It exists for the
+// command wrapper; tests prefer Serve with their own listener.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drainTimeout, nil)
+}

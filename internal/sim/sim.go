@@ -5,6 +5,14 @@
 // quantum expires; containers cache inputs on local disk with LRU
 // replacement; and actual operator runtimes may differ from the estimates
 // the schedule was planned with (the robustness experiment of Fig. 6).
+//
+// Beyond the paper's fault-free setting, the executor consumes a
+// fault.Plan: containers crash or are revoked (in-flight operators are
+// killed and re-placed on survivors, partially built index partitions are
+// lost, local caches are wiped), transient storage errors are retried with
+// capped exponential backoff, and stragglers stretch realized runtimes.
+// Fault handling is deterministic — the same plan and schedule always
+// yield the identical Result.
 package sim
 
 import (
@@ -13,9 +21,17 @@ import (
 
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/fault"
 	"idxflow/internal/sched"
 	"idxflow/internal/telemetry"
 )
+
+// timeEps is the shared tolerance for kill-time and boundary comparisons:
+// a build ending exactly at its kill point (lease end, preemption point,
+// or container failure) counts as completed, and one scheduled exactly at
+// the kill point never starts. All realized-time comparisons in this
+// package go through this single constant.
+const timeEps = 1e-9
 
 // Config parameterizes an execution.
 type Config struct {
@@ -32,9 +48,16 @@ type Config struct {
 	// surviving across executions (the paper's containers cache partitions
 	// between dataflows). Nil with SizeOf set means fresh caches.
 	Caches map[int]*cloud.LRUCache
+	// Faults lists fault events with times relative to this execution's
+	// start (the service shifts its absolute fault.Plan via Plan.From);
+	// empty means a fault-free execution.
+	Faults []fault.Event
+	// Backoff is the retry policy for transient storage errors; the zero
+	// value means cloud.DefaultBackoff().
+	Backoff cloud.Backoff
 	// Metrics, when non-nil, receives executor counters and histograms
 	// (operator run/wait times, builds killed, cache traffic, quanta
-	// charged).
+	// charged, faults injected and recovered).
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records an execution span.
 	Tracer *telemetry.Tracer
@@ -50,6 +73,9 @@ type instruments struct {
 	quantaCharged   *telemetry.Counter
 	fragmentation   *telemetry.Counter
 	transferredMB   *telemetry.Counter
+	faultsInjected  *telemetry.CounterVec
+	recoveries      *telemetry.CounterVec
+	wastedQuanta    *telemetry.Counter
 }
 
 // PreregisterMetrics creates the executor's metric families in reg so
@@ -65,7 +91,7 @@ func newInstruments(reg *telemetry.Registry) instruments {
 			"Time an operator's inputs sat ready while its container was busy.",
 			telemetry.ExponentialBuckets(0.5, 2, 12)),
 		buildsKilled: reg.Counter("idxflow_builds_killed_total",
-			"Index-build operators stopped by preemption or quantum expiry."),
+			"Index-build operators stopped by preemption, quantum expiry or container failure."),
 		buildsCompleted: reg.Counter("idxflow_builds_completed_total",
 			"Index-build operators that finished inside their idle slot."),
 		quantaCharged: reg.Counter("idxflow_quanta_charged_total",
@@ -74,6 +100,12 @@ func newInstruments(reg *telemetry.Registry) instruments {
 			"Paid-but-idle container seconds across executions."),
 		transferredMB: reg.Counter("idxflow_sim_transferred_mb_total",
 			"MB read from the storage service on container cache misses."),
+		faultsInjected: reg.CounterVec("idxflow_faults_injected_total",
+			"Fault events that took effect during execution, by fault kind.", "kind"),
+		recoveries: reg.CounterVec("idxflow_recoveries_total",
+			"Fault effects absorbed: re-placed operators, retried transfers, stragglers ridden out.", "kind"),
+		wastedQuanta: reg.Counter("idxflow_wasted_quanta_total",
+			"Paid compute discarded because of faults (killed work and dead lease tails), in quanta."),
 	}
 }
 
@@ -83,12 +115,15 @@ type OpResult struct {
 	Container int
 	Start     float64
 	End       float64
-	// Killed reports an index-build operator stopped by preemption or
-	// quantum expiry before completing.
+	// Killed reports an index-build operator stopped by preemption,
+	// quantum expiry or container failure before completing.
 	Killed bool
 	// Completed is true for dataflow operators that ran and build
 	// operators that finished.
 	Completed bool
+	// Replaced is true for dataflow operators that were killed on a
+	// failed container and re-ran on the recorded (surviving) Container.
+	Replaced bool
 }
 
 // Result summarizes an execution.
@@ -108,6 +143,146 @@ type Result struct {
 	// TransferredMB is the data volume read from the storage service
 	// (cache misses) when SizeOf is configured.
 	TransferredMB float64
+	// FaultsInjected counts fault events that took effect: they killed or
+	// delayed work, cut a lease short, or slowed a container. Planned
+	// events that hit idle or unleased containers are not counted.
+	FaultsInjected int
+	// FaultsRecovered counts absorbed fault effects: every re-placed
+	// dataflow operator, retried transfer and ridden-out straggler.
+	FaultsRecovered int
+	// ReplacedOps counts dataflow operators re-placed onto surviving
+	// containers after a crash or revocation.
+	ReplacedOps int
+	// WastedQuanta is paid compute the faults discarded, in quanta:
+	// partial runs of killed operators plus lease time past a failure.
+	WastedQuanta float64
+}
+
+// faultState indexes a resolved fault plan for one execution.
+type faultState struct {
+	// failAt is the effective failure time per container (earliest crash
+	// or revocation); noStart is when the container stops accepting new
+	// operators (the revocation notice; equals failAt for crashes).
+	failAt  map[int]float64
+	noStart map[int]float64
+	killEv  map[int]fault.Event
+	// slow holds straggler events per container, storage the transient
+	// storage errors, both ordered by time.
+	slow    map[int][]fault.Event
+	storage map[int][]fault.Event
+	// consumedStorage marks storage events (by Seq) already applied.
+	consumedStorage map[int]bool
+	// seen marks event Seqs already counted toward a metric, so an event
+	// affecting many operators is injected once.
+	seenInjected  map[int]bool
+	seenRecovered map[int]bool
+	// active lists containers holding at least one planned operator,
+	// ascending — the resolution domain for fault.AnyContainer.
+	active []int
+}
+
+// resolveFaults maps plan events onto the schedule's active containers.
+// AnyContainer events rotate deterministically through the active set by
+// their sequence number, so a plan generated before the schedule exists
+// still lands on real containers.
+func resolveFaults(events []fault.Event, s *sched.Schedule) *faultState {
+	fs := &faultState{
+		failAt: make(map[int]float64), noStart: make(map[int]float64),
+		killEv: make(map[int]fault.Event),
+		slow:   make(map[int][]fault.Event), storage: make(map[int][]fault.Event),
+		consumedStorage: make(map[int]bool),
+		seenInjected:    make(map[int]bool), seenRecovered: make(map[int]bool),
+	}
+	seen := make(map[int]bool)
+	for _, a := range s.Assignments() {
+		if !seen[a.Container] {
+			seen[a.Container] = true
+			fs.active = append(fs.active, a.Container)
+		}
+	}
+	sort.Ints(fs.active)
+	if len(fs.active) == 0 {
+		return fs
+	}
+	for _, e := range events {
+		c := e.Container
+		if c == fault.AnyContainer {
+			c = fs.active[e.Seq%len(fs.active)]
+		}
+		switch {
+		case e.KillsContainer():
+			if prev, dead := fs.failAt[c]; dead && prev <= e.At {
+				continue // container is already gone by then
+			}
+			fs.failAt[c] = e.At
+			fs.killEv[c] = e
+			fs.noStart[c] = e.At
+			if e.Kind == fault.SpotRevocation && e.NoticeSeconds > 0 {
+				fs.noStart[c] = e.At - e.NoticeSeconds
+			}
+		case e.Kind == fault.StorageError:
+			ev := e
+			ev.Container = c
+			fs.storage[c] = append(fs.storage[c], ev)
+		case e.Kind == fault.Straggler:
+			ev := e
+			ev.Container = c
+			fs.slow[c] = append(fs.slow[c], ev)
+		}
+	}
+	return fs
+}
+
+// deadAt reports whether container c has failed by (or at) time t.
+func (fs *faultState) deadAt(c int, t float64) bool {
+	if fs == nil {
+		return false
+	}
+	fa, ok := fs.failAt[c]
+	return ok && t >= fa-timeEps
+}
+
+// slowFactor returns the compound straggler slowdown active on c at t.
+func (fs *faultState) slowFactor(c int, t float64, mark func(fault.Event)) float64 {
+	if fs == nil {
+		return 1
+	}
+	f := 1.0
+	for _, e := range fs.slow[c] {
+		if e.At <= t+timeEps {
+			f *= e.SlowFactor
+			mark(e)
+		}
+	}
+	return f
+}
+
+// storageDelay consumes every unconsumed storage-error event on c due by
+// t and returns the summed retry backoff.
+func (fs *faultState) storageDelay(c int, t float64, b cloud.Backoff, mark func(fault.Event)) float64 {
+	if fs == nil {
+		return 0
+	}
+	var d float64
+	for _, e := range fs.storage[c] {
+		if e.At <= t+timeEps && !fs.consumedStorage[e.Seq] {
+			fs.consumedStorage[e.Seq] = true
+			d += b.TotalDelay(e.Retries, int64(e.Seq))
+			mark(e)
+		}
+	}
+	return d
+}
+
+// pendingFlow is one dataflow operator awaiting execution in pass 1.
+type pendingFlow struct {
+	op   dataflow.OpID
+	cont int
+	// order is the planned start (or re-placement time), the processing
+	// order key; rank breaks ties topologically.
+	order    float64
+	minStart float64
+	rank     int
 }
 
 // Execute runs the planned schedule and returns the realized execution.
@@ -123,10 +298,79 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	if actual == nil {
 		actual = func(op *dataflow.Operator) float64 { return op.Time }
 	}
+
+	res := Result{Ops: make(map[dataflow.OpID]OpResult, s.Assigned())}
+	var fs *faultState
+	if len(cfg.Faults) > 0 {
+		fs = resolveFaults(cfg.Faults, s)
+	}
+	markInjected := func(e fault.Event) {
+		if !fs.seenInjected[e.Seq] {
+			fs.seenInjected[e.Seq] = true
+			res.FaultsInjected++
+			ins.faultsInjected.With(e.Kind.String()).Inc()
+		}
+	}
+	markRecovered := func(e fault.Event) {
+		// Unlike injection, recoveries count per absorbed effect: an event
+		// whose failure forces three operators to move is three recoveries.
+		fs.seenRecovered[e.Seq] = true
+		res.FaultsRecovered++
+		ins.recoveries.With(e.Kind.String()).Inc()
+	}
+	markBoth := func(e fault.Event) { markInjected(e); markRecovered(e) }
+	addWasted := func(seconds float64) {
+		if seconds > 0 {
+			res.WastedQuanta += seconds / cfg.Pricing.QuantumSeconds
+		}
+	}
+
+	// Planned repair: heal the schedule before execution for every
+	// container the plan kills, in failure order. Orphaned dataflow
+	// operators move to survivors (a recovery each); orphaned builds are
+	// dropped — their partitions re-enter the tuner's beneficial set.
+	if fs != nil && len(fs.failAt) > 0 {
+		s = s.Clone()
+		type failure struct {
+			c  int
+			at float64
+		}
+		var failures []failure
+		for c, at := range fs.failAt {
+			failures = append(failures, failure{c, at})
+		}
+		sort.Slice(failures, func(i, j int) bool {
+			if failures[i].at != failures[j].at {
+				return failures[i].at < failures[j].at
+			}
+			return failures[i].c < failures[j].c
+		})
+		for _, f := range failures {
+			repairs, err := s.Repair(f.c, f.at)
+			if err != nil {
+				continue // dynamic handling below still covers the failure
+			}
+			for _, r := range repairs {
+				markInjected(fs.killEv[f.c])
+				addWasted(r.WastedSeconds)
+				if r.Dropped {
+					// The build never runs: record it as killed so no
+					// operator silently disappears from the result.
+					at := math.Min(r.Old.Start, f.at)
+					res.Ops[r.Op] = OpResult{Op: r.Op, Container: f.c, Start: at, End: at, Killed: true}
+					res.Killed++
+					ins.buildsKilled.Inc()
+				} else {
+					markRecovered(fs.killEv[f.c])
+					res.ReplacedOps++
+				}
+			}
+		}
+	}
 	g := s.Graph
 
 	// Group assignments per container in planned order, and collect the
-	// dataflow ops in planned-start order for pass 1.
+	// dataflow ops for pass 1.
 	perCont := make(map[int][]sched.Assignment)
 	var flowOps []sched.Assignment
 	for _, a := range s.Assignments() {
@@ -135,21 +379,19 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			flowOps = append(flowOps, a)
 		}
 	}
+	conts := make([]int, 0, len(perCont))
+	for c := range perCont {
+		conts = append(conts, c)
+	}
+	sort.Ints(conts)
 	// Topological ranks break planned-start ties between dependent
-	// zero-length ops.
+	// zero-length ops and order re-placements.
 	topo, _ := g.TopoSort()
 	rank := make(map[dataflow.OpID]int, len(topo))
 	for i, id := range topo {
 		rank[id] = i
 	}
-	sort.SliceStable(flowOps, func(i, j int) bool {
-		if flowOps[i].Start != flowOps[j].Start {
-			return flowOps[i].Start < flowOps[j].Start
-		}
-		return rank[flowOps[i].Op] < rank[flowOps[j].Op]
-	})
 
-	res := Result{Ops: make(map[dataflow.OpID]OpResult, s.Assigned())}
 	caches := cfg.Caches
 	if caches == nil && cfg.SizeOf != nil {
 		caches = make(map[int]*cloud.LRUCache)
@@ -158,95 +400,233 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	// Pass 1: dataflow operators. Work-conserving: each starts as soon as
 	// its predecessors' data has arrived and the previous dataflow
 	// operator on its container has finished. Build operators never delay
-	// them (priority -1 yields).
-	contClock := make(map[int]float64)
+	// them (priority -1 yields). Operators on failed containers are
+	// killed and re-queued onto survivors; survivors are chosen
+	// deterministically (least-loaded, lowest index), opening a fresh
+	// container only when every candidate is dead.
+	pending := make([]pendingFlow, 0, len(flowOps))
+	scheduled := make(map[dataflow.OpID]bool, len(flowOps))
 	for _, a := range flowOps {
-		op := g.Op(a.Op)
-		ctype := s.ContainerType(a.Container)
-		// ready is when the operator's inputs have arrived; the realized
-		// start is the later of that and the container coming free.
-		ready := 0.0
-		for _, e := range g.In(a.Op) {
-			pr, ok := res.Ops[e.From]
+		pending = append(pending, pendingFlow{op: a.Op, cont: a.Container, order: a.Start, rank: rank[a.Op]})
+		scheduled[a.Op] = true
+	}
+	contClock := make(map[int]float64)
+	// arrivals records realized intervals of re-placed ops per container,
+	// so pass 2 can preempt builds that planned for that idle time.
+	type interval struct{ start, end float64 }
+	arrivals := make(map[int][]interval)
+	nextFresh := s.NumSlots()
+	candidates := append([]int(nil), conts...)
+
+	chooseSurvivor := func(exclude int, t float64) int {
+		best, bestClock := -1, math.Inf(1)
+		for _, c := range candidates {
+			if c == exclude || (fs != nil && fs.deadAt(c, t)) {
+				continue
+			}
+			if fs != nil {
+				if ns, ok := fs.noStart[c]; ok && t >= ns-timeEps {
+					continue // inside a revocation notice window
+				}
+			}
+			if contClock[c] < bestClock {
+				best, bestClock = c, contClock[c]
+			}
+		}
+		if best < 0 {
+			best = nextFresh
+			nextFresh++
+			candidates = append(candidates, best)
+		}
+		return best
+	}
+
+	for len(pending) > 0 {
+		// Select the eligible operator with the earliest (order, rank):
+		// eligible means every scheduled predecessor has already run.
+		pick := -1
+		for i, p := range pending {
+			ok := true
+			for _, e := range g.In(p.op) {
+				if _, done := res.Ops[e.From]; scheduled[e.From] && !done {
+					ok = false
+					break
+				}
+			}
 			if !ok {
 				continue
 			}
+			if pick < 0 || p.order < pending[pick].order-timeEps ||
+				(math.Abs(p.order-pending[pick].order) <= timeEps && p.rank < pending[pick].rank) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // unreachable for DAGs; avoid livelock regardless
+		}
+		p := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+
+		op := g.Op(p.op)
+		c := p.cont
+		ctype := s.ContainerType(c)
+		ready := 0.0
+		for _, e := range g.In(p.op) {
+			pr, done := res.Ops[e.From]
+			if !done || !pr.Completed {
+				continue
+			}
 			t := pr.End
-			if pr.Container != a.Container {
+			if pr.Container != c {
 				t += ctype.Spec.TransferSeconds(e.Size)
 			}
 			if t > ready {
 				ready = t
 			}
 		}
-		start := contClock[a.Container]
-		if ready > start {
-			start = ready
+		start := math.Max(math.Max(contClock[c], ready), p.minStart)
+		// A failed (or notice-window) container accepts no new operators:
+		// re-place without losing work.
+		if fs != nil {
+			if ns, ok := fs.noStart[c]; ok && start >= ns-timeEps {
+				markBoth(fs.killEv[c])
+				res.ReplacedOps++
+				nc := chooseSurvivor(c, start)
+				pending = append(pending, pendingFlow{
+					op: p.op, cont: nc, order: start, minStart: start, rank: p.rank,
+				})
+				continue
+			}
 		}
 		ins.opWait.Observe(start - ready)
 		dur := actual(op) / ctype.SpeedFactor
+		if fs != nil {
+			dur *= fs.slowFactor(c, start, markBoth)
+			dur += fs.storageDelay(c, start, cfg.Backoff, markBoth)
+		}
 		// Input reads: a cache miss transfers the partition from the
 		// storage service before the operator can run (§6.1).
 		if cfg.SizeOf != nil && len(op.Reads) > 0 {
-			c := caches[a.Container]
-			if c == nil {
-				c = cloud.NewLRUCache(ctype.Spec.DiskMB).Instrument(cfg.Metrics)
-				caches[a.Container] = c
+			lru := caches[c]
+			if lru == nil {
+				lru = cloud.NewLRUCache(ctype.Spec.DiskMB).Instrument(cfg.Metrics)
+				caches[c] = lru
 			}
 			for _, path := range op.Reads {
 				size := cfg.SizeOf(path)
 				if size <= 0 {
 					continue
 				}
-				if !c.Get(path) {
+				if !lru.Get(path) {
 					dur += ctype.Spec.TransferSeconds(size)
 					res.TransferredMB += size
-					c.Put(path, size)
+					lru.Put(path, size)
 				}
 			}
 		}
 		end := start + dur
-		ins.opRun.With(op.Kind.String()).Observe(dur)
-		res.Ops[a.Op] = OpResult{
-			Op: a.Op, Container: a.Container,
-			Start: start, End: end, Completed: true,
+		// In-flight at the container's failure time: the work since start
+		// is lost; the operator restarts from scratch on a survivor.
+		if fs != nil {
+			if fa, dead := fs.failAt[c]; dead && end > fa+timeEps {
+				markBoth(fs.killEv[c])
+				addWasted(fa - start)
+				res.ReplacedOps++
+				contClock[c] = fa
+				nc := chooseSurvivor(c, fa)
+				pending = append(pending, pendingFlow{
+					op: p.op, cont: nc, order: fa, minStart: fa, rank: p.rank,
+				})
+				continue
+			}
 		}
-		contClock[a.Container] = end
+		ins.opRun.With(op.Kind.String()).Observe(dur)
+		r := OpResult{Op: p.op, Container: c, Start: start, End: end, Completed: true}
+		if a, planned := s.Assignment(p.op); !planned || a.Container != c {
+			r.Replaced = true
+			arrivals[c] = append(arrivals[c], interval{start, end})
+		}
+		res.Ops[p.op] = r
+		contClock[c] = end
 	}
 
 	// Realized lease per container: whole quanta covering the last
-	// dataflow operator (idle containers are deleted when their current
+	// dataflow activity (idle containers are deleted when their current
 	// quantum expires, §3). A container holding only build operators is a
 	// dedicated build container (the delayed-building extension): its
 	// lease is the planned quanta the service deliberately paid for, and
-	// builds running long are still cut at that boundary.
+	// builds running long are still cut at that boundary. A failed
+	// container is charged through the quantum containing the failure;
+	// the unusable remainder of that lease is fault waste.
 	leaseEnd := make(map[int]float64)
-	for c, as := range perCont {
+	buildKill := make(map[int]float64)
+	for _, c := range conts {
 		var last float64
 		anyFlowOp := false
-		for _, a := range as {
+		for _, a := range perCont[c] {
 			if !g.Op(a.Op).Optional {
 				anyFlowOp = true
-				if r := res.Ops[a.Op]; r.End > last {
+				if r := res.Ops[a.Op]; r.Container == c && r.End > last {
 					last = r.End
 				}
 			}
 		}
-		if !anyFlowOp {
-			for _, a := range as {
+		if fs != nil && anyFlowOp {
+			// Killed partial runs occupy the container up to the failure.
+			if fa, dead := fs.failAt[c]; dead && contClock[c] == fa && fa > last {
+				last = fa
+			}
+		}
+		for _, iv := range arrivals[c] {
+			if iv.end > last {
+				last = iv.end
+			}
+		}
+		if !anyFlowOp && len(arrivals[c]) == 0 {
+			for _, a := range perCont[c] {
 				if a.End > last {
 					last = a.End
 				}
 			}
 		}
-		leaseEnd[c] = float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
+		lease := float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
+		buildKill[c] = lease
+		if fs != nil {
+			if fa, dead := fs.failAt[c]; dead && fa < lease-timeEps {
+				markInjected(fs.killEv[c])
+				// Pay through the failure's quantum; its tail is waste.
+				charged := float64(cfg.Pricing.Quanta(fa)) * cfg.Pricing.QuantumSeconds
+				if charged > lease {
+					charged = lease
+				}
+				addWasted(charged - fa)
+				lease = charged
+				buildKill[c] = math.Min(fa, lease)
+			}
+		}
+		leaseEnd[c] = lease
+	}
+	for c := range arrivals {
+		if _, known := leaseEnd[c]; !known {
+			// A fresh container opened by recovery: leased like any other.
+			var last float64
+			for _, iv := range arrivals[c] {
+				if iv.end > last {
+					last = iv.end
+				}
+			}
+			leaseEnd[c] = float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
+			buildKill[c] = leaseEnd[c]
+		}
 	}
 
 	// Pass 2: build operators run in the realized gaps, in planned order,
-	// stopped by the next dataflow operator's realized start or by the
-	// lease end.
-	for c, as := range perCont {
-		// Realized start of each dataflow op on this container, in order.
+	// stopped by the next dataflow operator's realized start, a re-placed
+	// arrival, the container's failure, or the lease end.
+	for _, c := range conts {
+		as := perCont[c]
+		// Realized start of each resident dataflow op on this container,
+		// in planned order.
 		type flowPoint struct {
 			idx   int // index in as
 			start float64
@@ -254,7 +634,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		var points []flowPoint
 		for i, a := range as {
 			if !g.Op(a.Op).Optional {
-				points = append(points, flowPoint{idx: i, start: res.Ops[a.Op].Start})
+				if r := res.Ops[a.Op]; r.Container == c {
+					points = append(points, flowPoint{idx: i, start: r.Start})
+				}
 			}
 		}
 		clock := 0.0
@@ -262,32 +644,59 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		for i, a := range as {
 			op := g.Op(a.Op)
 			if !op.Optional {
-				clock = res.Ops[a.Op].End
+				if r := res.Ops[a.Op]; r.Container == c && r.End > clock {
+					clock = r.End
+				}
 				if pi < len(points) && points[pi].idx == i {
 					pi++
 				}
 				continue
 			}
-			// Kill time: the next dataflow op's realized start, else the
-			// lease end.
-			kill := leaseEnd[c]
+			// Kill time: the next resident dataflow op's realized start,
+			// a re-placed arrival, the container failure, else the lease
+			// end.
+			kill := buildKill[c]
 			for j := pi; j < len(points); j++ {
 				if points[j].idx > i {
-					kill = points[j].start
+					if points[j].start < kill {
+						kill = points[j].start
+					}
 					break
 				}
 			}
+			for _, iv := range arrivals[c] {
+				if iv.end > clock+timeEps && iv.start < kill {
+					kill = math.Max(iv.start, clock)
+				}
+			}
 			start := clock
-			end := start + actual(op)/s.ContainerType(c).SpeedFactor
+			faultKill := false
+			if fs != nil {
+				if ns, ok := fs.noStart[c]; ok && math.Min(ns, kill) < kill {
+					kill = ns // no new work after the failure notice
+				}
+				if fa, dead := fs.failAt[c]; dead && fa <= kill+timeEps {
+					faultKill = true
+				}
+			}
+			dur := actual(op) / s.ContainerType(c).SpeedFactor
+			if fs != nil {
+				dur *= fs.slowFactor(c, start, markBoth)
+			}
+			end := start + dur
 			r := OpResult{Op: a.Op, Container: c, Start: start}
-			if start >= kill-1e-9 {
+			if start >= kill-timeEps {
 				r.End = start // preempted before it could run at all
 				r.Killed = true
 				res.Killed++
-			} else if end > kill+1e-9 {
-				r.End = kill // stopped at preemption or quantum expiry
+			} else if end > kill+timeEps {
+				r.End = kill // stopped at preemption, expiry or failure
 				r.Killed = true
 				res.Killed++
+				if faultKill {
+					markInjected(fs.killEv[c])
+					addWasted(r.End - r.Start)
+				}
 			} else {
 				r.End = end
 				r.Completed = true
@@ -307,10 +716,26 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		return res.CompletedBuilds[i] < res.CompletedBuilds[j]
 	})
 
-	// Aggregate metrics.
+	// A failed container loses its local disk cache.
+	if fs != nil && caches != nil {
+		for c := range fs.failAt {
+			delete(caches, c)
+		}
+	}
+
+	// Aggregate metrics, iterating deterministically so a seeded faulty
+	// run reproduces byte-identical output.
+	ids := make([]dataflow.OpID, 0, len(res.Ops))
+	for id := range res.Ops {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	first, last := math.Inf(1), 0.0
 	anyFlow := false
-	for id, r := range res.Ops {
+	var busy float64
+	for _, id := range ids {
+		r := res.Ops[id]
+		busy += r.End - r.Start
 		if g.Op(id).Optional {
 			continue
 		}
@@ -325,12 +750,13 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	if anyFlow {
 		res.Makespan = last - first
 	}
-	var busy float64
-	for _, r := range res.Ops {
-		busy += r.End - r.Start
+	leasedConts := make([]int, 0, len(leaseEnd))
+	for c := range leaseEnd {
+		leasedConts = append(leasedConts, c)
 	}
+	sort.Ints(leasedConts)
 	var leased float64
-	for c := range perCont {
+	for _, c := range leasedConts {
 		leased += leaseEnd[c]
 		w := 1.0
 		if cfg.Pricing.VMPerQuantum > 0 {
@@ -345,9 +771,16 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	ins.quantaCharged.Add(res.MoneyQuanta)
 	ins.fragmentation.Add(res.Fragmentation)
 	ins.transferredMB.Add(res.TransferredMB)
+	ins.wastedQuanta.Add(res.WastedQuanta)
 	span.SetAttr("makespan_seconds", res.Makespan).
 		SetAttr("money_quanta", res.MoneyQuanta).
 		SetAttr("builds_killed", res.Killed).
 		SetAttr("builds_completed", len(res.CompletedBuilds))
+	if res.FaultsInjected > 0 {
+		span.SetAttr("faults_injected", res.FaultsInjected).
+			SetAttr("faults_recovered", res.FaultsRecovered).
+			SetAttr("ops_replaced", res.ReplacedOps).
+			SetAttr("wasted_quanta", res.WastedQuanta)
+	}
 	return res
 }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the Benchmark* suite with -benchmem and emit a JSON
+# summary (name, ns/op, allocs/op) to track the performance trajectory
+# across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json]          full run (default BENCH_PR2.json)
+#   scripts/bench.sh -short [output.json]   single-iteration smoke run for CI
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [ "${1:-}" = "-short" ]; then
+	MODE=short
+	shift
+fi
+OUT="${1:-BENCH_PR2.json}"
+
+if [ "$MODE" = "short" ]; then
+	# One iteration per benchmark: proves they all still run without
+	# spending CI minutes on statistically meaningful timings.
+	BENCHTIME="-benchtime=1x"
+else
+	BENCHTIME=""
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# shellcheck disable=SC2086  # BENCHTIME is intentionally word-split
+go test -bench=. -benchmem $BENCHTIME -run='^$' ./... > "$RAW" 2>&1 || {
+	status=$?
+	cat "$RAW"
+	echo "benchmarks failed" >&2
+	exit $status
+}
+cat "$RAW"
+
+# Benchmark output lines look like:
+#   BenchmarkName-8   123   456789 ns/op   1024 B/op   17 allocs/op
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (allocs == "") allocs = 0
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+}
+END { if (n) printf "\n"; print "]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $(grep -c '"name"' "$OUT") benchmark results to $OUT"
