@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-short clean
+.PHONY: all build test race race-short vet fmt-check ci bench bench-short bench-compare clean
 
 all: build
 
@@ -13,6 +13,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-short:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -22,13 +25,19 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+ci: fmt-check vet build test race-short
 
 bench:
 	scripts/bench.sh
 
 bench-short:
 	scripts/bench.sh -short /dev/null
+
+# Compare the current BENCH_PR3.json (run `make bench` first) against the
+# committed BENCH_PR2.json baseline; fails on >15% ns/op or allocs/op
+# regression in any shared benchmark.
+bench-compare:
+	scripts/bench_compare.sh BENCH_PR2.json BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

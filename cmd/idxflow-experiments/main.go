@@ -41,8 +41,11 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
 		faults   = flag.String("faults", "", "comma-separated fault rates (events/container/quantum) for -exp fault; empty = default sweep")
 		faultSd  = flag.Int64("fault-seed", 42, "seed for the generated fault plans of -exp fault")
+		parallel = flag.Int("parallelism", 0, "experiment fan-out pool size (0 = NumCPU, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
 
 	if *traceOut != "" {
 		// The experiment helpers build their services internally, which

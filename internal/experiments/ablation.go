@@ -5,6 +5,7 @@ import (
 
 	"idxflow/internal/cloud"
 	"idxflow/internal/core"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -20,7 +21,48 @@ func Ablations(seed int64, horizon float64) *Table {
 		Header: []string{"Knob", "Value", "Finished", "Cost/dataflow ($)", "Mean makespan (s)"},
 	}
 
-	run := func(knob, value string, mutate func(cfg *core.Config)) {
+	// The sweep is a grid of independent runs: collect the cells first,
+	// fan them out on the experiment pool, and append rows in grid order.
+	type cell struct {
+		knob, value string
+		mutate      func(cfg *core.Config)
+	}
+	var cells []cell
+	add := func(knob, value string, mutate func(cfg *core.Config)) {
+		cells = append(cells, cell{knob, value, mutate})
+	}
+
+	add("baseline", "defaults", nil)
+	for _, a := range []float64{0, 0.5, 1} {
+		a := a
+		add("alpha", fmt.Sprintf("%.1f", a), func(cfg *core.Config) { cfg.Gain.Alpha = a })
+	}
+	for _, d := range []float64{1, 10, 100} {
+		d := d
+		add("fading D", fmt.Sprintf("%g", d), func(cfg *core.Config) { cfg.Gain.FadeD = d })
+	}
+	for _, w := range []float64{2, 120, 0} {
+		w := w
+		label := fmt.Sprintf("%g", w)
+		if w == 0 {
+			label = "unbounded"
+		}
+		add("window W", label, func(cfg *core.Config) { cfg.Gain.WindowW = w })
+	}
+	add("interleaver", "online", func(cfg *core.Config) { cfg.Algo = core.OnlineInterleave })
+	add("pool", "two-tier", func(cfg *core.Config) { cfg.Sched.Types = cloud.DefaultVMTypes() })
+	add("extension", "dedicated-builds", func(cfg *core.Config) {
+		cfg.AllowDedicatedBuilds = true
+		cfg.DedicatedMargin = 2
+	})
+	add("extension", "adaptive-fading", func(cfg *core.Config) { cfg.AdaptiveFading = true })
+	add("extension", "batch-updates", func(cfg *core.Config) {
+		cfg.UpdateEveryQuanta = 60
+		cfg.UpdateFraction = 0.02
+	})
+
+	results := make([]core.Metrics, len(cells))
+	runJobs(len(cells), func(i int) {
 		db, err := workload.NewFileDB(seed)
 		if err != nil {
 			panic(err)
@@ -37,41 +79,16 @@ func Ablations(seed int64, horizon float64) *Table {
 		cfg := core.DefaultConfig()
 		cfg.Sched.MaxSkyline = 4
 		cfg.RuntimeError = 0.1
-		if mutate != nil {
-			mutate(&cfg)
+		cfg.Telemetry = telemetry.NewRegistry()
+		if cells[i].mutate != nil {
+			cells[i].mutate(&cfg)
 		}
-		m := core.NewService(cfg, db).Run(flows, horizon)
-		t.AddRow(knob, value, m.FlowsFinished, m.CostPerFlow, m.MeanMakespan)
-	}
-
-	run("baseline", "defaults", nil)
-	for _, a := range []float64{0, 0.5, 1} {
-		a := a
-		run("alpha", fmt.Sprintf("%.1f", a), func(cfg *core.Config) { cfg.Gain.Alpha = a })
-	}
-	for _, d := range []float64{1, 10, 100} {
-		d := d
-		run("fading D", fmt.Sprintf("%g", d), func(cfg *core.Config) { cfg.Gain.FadeD = d })
-	}
-	for _, w := range []float64{2, 120, 0} {
-		w := w
-		label := fmt.Sprintf("%g", w)
-		if w == 0 {
-			label = "unbounded"
-		}
-		run("window W", label, func(cfg *core.Config) { cfg.Gain.WindowW = w })
-	}
-	run("interleaver", "online", func(cfg *core.Config) { cfg.Algo = core.OnlineInterleave })
-	run("pool", "two-tier", func(cfg *core.Config) { cfg.Sched.Types = cloud.DefaultVMTypes() })
-	run("extension", "dedicated-builds", func(cfg *core.Config) {
-		cfg.AllowDedicatedBuilds = true
-		cfg.DedicatedMargin = 2
+		results[i] = core.NewService(cfg, db).Run(flows, horizon)
 	})
-	run("extension", "adaptive-fading", func(cfg *core.Config) { cfg.AdaptiveFading = true })
-	run("extension", "batch-updates", func(cfg *core.Config) {
-		cfg.UpdateEveryQuanta = 60
-		cfg.UpdateFraction = 0.02
-	})
+	for i, c := range cells {
+		m := results[i]
+		t.AddRow(c.knob, c.value, m.FlowsFinished, m.CostPerFlow, m.MeanMakespan)
+	}
 
 	t.Notes = append(t.Notes,
 		"every row runs the full tuning loop on the same workload; only the named knob changes")

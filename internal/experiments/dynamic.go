@@ -5,6 +5,7 @@ import (
 
 	"idxflow/internal/core"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -46,8 +47,13 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 		Metrics: make(map[core.Strategy]core.Metrics),
 	}
 
-	for _, strat := range strategies {
-		// Fresh database and identical flow sequence per strategy.
+	// The four strategy runs are independent simulations — each gets a
+	// fresh database, an identical flow sequence and an isolated metrics
+	// registry — so they fan out on the experiment pool; rows are appended
+	// in strategy order afterwards so tables never depend on completion
+	// order.
+	perStrat := make([]core.Metrics, len(strategies))
+	runJobs(len(strategies), func(i int) {
 		db, err := workload.NewFileDB(seed)
 		if err != nil {
 			panic(err)
@@ -56,11 +62,16 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 		flows := flowsFor(gen)
 
 		cfg := core.DefaultConfig()
-		cfg.Strategy = strat
+		cfg.Strategy = strategies[i]
 		cfg.Sched.MaxSkyline = 4
 		cfg.RuntimeError = 0.2 // §6.1: estimates are never exact in practice
+		cfg.Telemetry = telemetry.NewRegistry()
 		svc := core.NewService(cfg, db)
-		m := svc.Run(flows, horizon)
+		perStrat[i] = svc.Run(flows, horizon)
+	})
+
+	for i, strat := range strategies {
+		m := perStrat[i]
 		res.Metrics[strat] = m
 
 		res.Finished.AddRow(strat.String(), m.FlowsFinished, m.FlowsSubmitted)

@@ -5,6 +5,7 @@ import (
 
 	"idxflow/internal/core"
 	"idxflow/internal/fault"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -49,35 +50,43 @@ func Fault(seed, faultSeed int64, rates []float64, horizon float64) *FaultResult
 				"Recovered", "Ops re-placed", "Builds killed", "Wasted quanta"},
 		},
 	}
-	for _, rate := range rates {
-		byStrat := make(map[core.Strategy]core.Metrics)
-		for _, strat := range []core.Strategy{core.NoIndex, core.Gain} {
-			db, err := workload.NewFileDB(seed)
-			if err != nil {
-				panic(err)
+	// The rate × strategy grid cells are independent simulations: fan them
+	// out on the experiment pool, then assemble rows in grid order.
+	strats := []core.Strategy{core.NoIndex, core.Gain}
+	grid := make([]core.Metrics, len(rates)*len(strats))
+	runJobs(len(grid), func(i int) {
+		rate, strat := rates[i/len(strats)], strats[i%len(strats)]
+		db, err := workload.NewFileDB(seed)
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(db, seed+1)
+		phases := workload.DefaultPhases()
+		if horizon < Horizon720 {
+			f := horizon / Horizon720
+			for i := range phases {
+				phases[i].Seconds *= f
 			}
-			gen := workload.NewGenerator(db, seed+1)
-			phases := workload.DefaultPhases()
-			if horizon < Horizon720 {
-				f := horizon / Horizon720
-				for i := range phases {
-					phases[i].Seconds *= f
-				}
-			}
-			flows := gen.PhaseWorkload(phases, 60)
+		}
+		flows := gen.PhaseWorkload(phases, 60)
 
-			cfg := core.DefaultConfig()
-			cfg.Strategy = strat
-			cfg.Sched.MaxSkyline = 4
-			cfg.RuntimeError = 0.2
-			if rate > 0 {
-				// The identical plan hits both strategies: the comparison
-				// isolates what indexing does under churn, not fault luck.
-				q := cfg.Sched.Pricing.QuantumSeconds
-				cfg.Faults = fault.Generate(fault.DefaultRates(rate, q, horizon), faultSeed)
-			}
-			svc := core.NewService(cfg, db)
-			m := svc.Run(flows, horizon)
+		cfg := core.DefaultConfig()
+		cfg.Strategy = strat
+		cfg.Sched.MaxSkyline = 4
+		cfg.RuntimeError = 0.2
+		cfg.Telemetry = telemetry.NewRegistry()
+		if rate > 0 {
+			// The identical plan hits both strategies: the comparison
+			// isolates what indexing does under churn, not fault luck.
+			q := cfg.Sched.Pricing.QuantumSeconds
+			cfg.Faults = fault.Generate(fault.DefaultRates(rate, q, horizon), faultSeed)
+		}
+		grid[i] = core.NewService(cfg, db).Run(flows, horizon)
+	})
+	for ri, rate := range rates {
+		byStrat := make(map[core.Strategy]core.Metrics)
+		for si, strat := range strats {
+			m := grid[ri*len(strats)+si]
 			byStrat[strat] = m
 
 			res.Robustness.AddRow(fmt.Sprintf("%g", rate), strat.String(),

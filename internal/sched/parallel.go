@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves an Options.Parallelism value to an effective worker
+// count: values <= 0 (the zero value) mean runtime.NumCPU().
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return parallelism
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Iterations are claimed dynamically through an atomic counter
+// so uneven task sizes balance across workers; workers <= 1 (or n <= 1)
+// degenerates to an inline loop with zero goroutine overhead, which makes
+// Parallelism=1 byte-identical to the historical serial scheduler. fn must
+// communicate results through index-addressed slots — completion order is
+// unspecified.
+func ParallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// schedPool recycles Schedule values between skyline iterations: scratch
+// schedules used for speculative candidate evaluation and dropped frontier
+// members both return here, and materialized survivors are carved from it.
+// CopyFrom reuses the pooled schedule's map and slice storage, so steady
+// state skyline iterations allocate almost nothing.
+var schedPool = sync.Pool{New: func() any { return new(Schedule) }}
+
+func getSchedule() *Schedule  { return schedPool.Get().(*Schedule) }
+func putSchedule(s *Schedule) { schedPool.Put(s) }

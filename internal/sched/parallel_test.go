@@ -1,0 +1,345 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/dataflow"
+)
+
+// randomDAG builds a seeded random DAG of n operators; optionalEvery > 0
+// marks every k-th operator optional (an index build available from the
+// start, so it has no incoming edges).
+func randomDAG(seed int64, n, optionalEvery int) *dataflow.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dataflow.New()
+	ids := make([]dataflow.OpID, 0, n)
+	for i := 0; i < n; i++ {
+		op := dataflow.Operator{Name: fmt.Sprintf("op%d", i), Time: 5 + rng.Float64()*60}
+		if optionalEvery > 0 && i%optionalEvery == optionalEvery-1 {
+			op.Optional = true
+			op.Name = fmt.Sprintf("build%d", i)
+			g.Add(op)
+			continue
+		}
+		id := g.Add(op)
+		for _, prev := range ids {
+			if rng.Float64() < 3.0/float64(len(ids)+2) {
+				g.Connect(prev, id, rng.Float64()*20)
+			}
+		}
+		ids = append(ids, id)
+	}
+	return g
+}
+
+// fingerprint renders a skyline into a canonical string: per schedule the
+// objective point, the container types, and every assignment. Two runs are
+// byte-identical iff their fingerprints match.
+func fingerprint(sky []*Schedule) string {
+	var b strings.Builder
+	for i, s := range sky {
+		fmt.Fprintf(&b, "#%d t=%.9f m=%.9f ops=%d conts=%d types=[", i,
+			s.Makespan(), s.MoneyQuanta(), s.Assigned(), s.Containers())
+		for c := 0; c < s.NumSlots(); c++ {
+			fmt.Fprintf(&b, "%d,", s.ContainerTypeIndex(c))
+		}
+		b.WriteString("]\n")
+		as := s.Assignments()
+		sort.Slice(as, func(i, j int) bool { return as[i].Op < as[j].Op })
+		for _, a := range as {
+			fmt.Fprintf(&b, "  op%d c%d [%.9f,%.9f]\n", a.Op, a.Container, a.Start, a.End)
+		}
+	}
+	return b.String()
+}
+
+// TestSkylineDeterministicAcrossParallelism is the determinism property
+// test: over seeded random DAGs, Schedule and ScheduleWithOptional must
+// return identical skylines — points, assignments and container types —
+// at Parallelism 1, 2 and 8.
+func TestSkylineDeterministicAcrossParallelism(t *testing.T) {
+	levels := []int{1, 2, 8}
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, withOpt := range []bool{false, true} {
+			g := randomDAG(seed, 40, 5)
+			var want string
+			for _, p := range levels {
+				opts := testOpts()
+				opts.Parallelism = p
+				sk := NewSkyline(opts)
+				var sky []*Schedule
+				if withOpt {
+					sky = sk.ScheduleWithOptional(g)
+				} else {
+					sky = sk.Schedule(g)
+				}
+				got := fingerprint(sky)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("seed %d withOptional=%v: parallelism %d diverged:\n--- p=1 ---\n%s--- p=%d ---\n%s",
+						seed, withOpt, p, want, p, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSkylineDeterministicHeterogeneous repeats the property with a
+// heterogeneous VM pool, where fresh containers multiply the candidate
+// count by the number of types.
+func TestSkylineDeterministicHeterogeneous(t *testing.T) {
+	g := randomDAG(7, 30, 0)
+	var want string
+	for _, p := range []int{1, 2, 8} {
+		opts := testOpts()
+		opts.Parallelism = p
+		opts.Types = cloud.DefaultVMTypes()
+		got := fingerprint(NewSkyline(opts).Schedule(g))
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("heterogeneous skyline diverged at parallelism %d:\n%s\nvs\n%s", p, want, got)
+		}
+	}
+}
+
+// snapshot captures every observable property of a schedule for undo
+// round-trip comparison.
+func snapshot(s *Schedule) string {
+	return fingerprint([]*Schedule{s}) + fmt.Sprintf("frag=%.9f seqIdle=%.9f",
+		s.Fragmentation(), s.MaxSequentialIdle())
+}
+
+// TestUndoRoundTrip proves a speculative placement followed by Undo is an
+// exact identity, including the makespan cache, lease memo, container set
+// and evicted optional operators.
+func TestUndoRoundTrip(t *testing.T) {
+	o := testOpts()
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 25})
+	opt := g.Add(dataflow.Operator{Name: "build", Time: 30, Optional: true})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	if _, err := s.Append(a, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Park the optional op right after a, so appending b evicts it.
+	if _, err := s.PlaceAt(opt, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(s)
+
+	// Append evicting the optional op, on the existing container.
+	if _, tok, err := s.AppendSpeculative(b, 0, -1, -1); err != nil {
+		t.Fatal(err)
+	} else {
+		if _, ok := s.Assignment(opt); ok {
+			t.Fatal("optional op should have been evicted by the append")
+		}
+		s.Undo(tok)
+	}
+	if got := snapshot(s); got != before {
+		t.Errorf("append+undo is not identity:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate after undo: %v", err)
+	}
+
+	// Append opening a fresh container.
+	if _, tok, err := s.AppendSpeculative(b, 1, -1, -1); err != nil {
+		t.Fatal(err)
+	} else {
+		s.Undo(tok)
+	}
+	if got := snapshot(s); got != before {
+		t.Errorf("fresh-container append+undo is not identity:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+
+	// PlaceAt into an idle gap and undo.
+	s2 := NewSchedule(g, o.Pricing, o.Spec)
+	if _, err := s2.Append(a, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Append(b, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	before2 := snapshot(s2)
+	if _, tok, err := s2.PlaceAtSpeculative(opt, 0, 35, 10); err != nil {
+		t.Fatal(err)
+	} else {
+		s2.Undo(tok)
+	}
+	if got := snapshot(s2); got != before2 {
+		t.Errorf("placeAt+undo is not identity:\nbefore:\n%s\nafter:\n%s", before2, got)
+	}
+}
+
+// TestUndoRoundTripWithTypes proves retyping a fresh container rolls back.
+func TestUndoRoundTripWithTypes(t *testing.T) {
+	o := testOpts()
+	o.Types = cloud.DefaultVMTypes()
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 20})
+	s := NewSchedule(g, o.Pricing, o.Spec)
+	s.Types = o.Types
+	if _, err := s.Append(a, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(s)
+	for ti := range o.Types {
+		if _, tok, err := s.AppendSpeculative(b, 1, ti, -1); err != nil {
+			t.Fatal(err)
+		} else {
+			s.Undo(tok)
+		}
+		if got := snapshot(s); got != before {
+			t.Errorf("typed append+undo (type %d) is not identity:\nbefore:\n%s\nafter:\n%s", ti, before, got)
+		}
+	}
+}
+
+// TestCloneAndCopyFromAliasing proves mutations on a clone or a CopyFrom
+// replica never leak into the parent.
+func TestCloneAndCopyFromAliasing(t *testing.T) {
+	o := testOpts()
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 20})
+	c := g.Add(dataflow.Operator{Name: "c", Time: 5})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	parent := NewSchedule(g, o.Pricing, o.Spec)
+	if _, err := parent.Append(a, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.Append(b, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(parent)
+
+	clone := parent.Clone()
+	if _, err := clone.Append(c, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.Repair(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(parent); got != before {
+		t.Errorf("clone mutations leaked into parent:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+
+	replica := new(Schedule)
+	replica.CopyFrom(parent)
+	if _, err := replica.Append(c, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(parent); got != before {
+		t.Errorf("CopyFrom replica mutations leaked into parent:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	if replica.Assigned() != parent.Assigned()+1 {
+		t.Errorf("replica ops = %d, want %d", replica.Assigned(), parent.Assigned()+1)
+	}
+}
+
+// TestParetoDuplicateTieBreak is the regression test for deterministic
+// duplicate handling: among equal-objective candidates the survivor must
+// be the one with fewer containers, then the lower op count — regardless
+// of input order.
+func TestParetoDuplicateTieBreak(t *testing.T) {
+	o := testOpts()
+	g := dataflow.New()
+	ids := make([]dataflow.OpID, 2)
+	for i := range ids {
+		ids[i] = g.Add(dataflow.Operator{Name: "op", Time: 30})
+	}
+
+	// Two schedules with identical objectives and identical sequential
+	// idle time (30 s each) but different container counts. With 60 s
+	// quanta: one container leased 2 quanta (ops at [30,60] and [60,90],
+	// makespan 60, idle [0,30] and [90,120]) versus two containers leased
+	// 1 quantum each (ops at [0,30] and [30,60], makespan 60, one 30 s
+	// gap per container). preferCompact must pick the single-container
+	// schedule regardless of input order.
+	oneCont := NewSchedule(g, o.Pricing, o.Spec)
+	mustPlace(t, oneCont, ids[0], 0, 30)
+	mustPlace(t, oneCont, ids[1], 0, 60)
+
+	twoCont := NewSchedule(g, o.Pricing, o.Spec)
+	mustPlace(t, twoCont, ids[0], 0, 0)
+	mustPlace(t, twoCont, ids[1], 1, 30)
+
+	pOne := oneCont.point()
+	pTwo := twoCont.point()
+	if pOne.time != pTwo.time || pOne.money != pTwo.money {
+		t.Fatalf("test setup: objectives differ: %+v vs %+v", pOne, pTwo)
+	}
+	if oneCont.MaxSequentialIdle() != twoCont.MaxSequentialIdle() {
+		t.Fatalf("test setup: seqIdle differs: %g vs %g",
+			oneCont.MaxSequentialIdle(), twoCont.MaxSequentialIdle())
+	}
+
+	orders := [][]candidate{
+		{{s: oneCont, p: pOne}, {s: twoCont, p: pTwo}},
+		{{s: twoCont, p: pTwo}, {s: oneCont, p: pOne}},
+	}
+	for i, cands := range orders {
+		out := pareto(append([]candidate(nil), cands...), preferSeqIdle)
+		if len(out) != 1 {
+			t.Fatalf("order %d: pareto kept %d candidates, want 1", i, len(out))
+		}
+		if out[0].s != oneCont {
+			t.Errorf("order %d: survivor uses %d containers, want the 1-container schedule",
+				i, out[0].s.Containers())
+		}
+	}
+
+	// preferCompact itself: fewer containers wins, then fewer ops.
+	a := candidate{p: point{conts: 1, ops: 3}}
+	b := candidate{p: point{conts: 2, ops: 2}}
+	if !preferCompact(&a, &b) {
+		t.Error("fewer containers should win")
+	}
+	c1 := candidate{p: point{conts: 2, ops: 2}}
+	c2 := candidate{p: point{conts: 2, ops: 3}}
+	if !preferCompact(&c1, &c2) {
+		t.Error("at equal containers, fewer ops should win")
+	}
+}
+
+func mustPlace(t *testing.T, s *Schedule, id dataflow.OpID, c int, start float64) {
+	t.Helper()
+	if _, err := s.PlaceAt(id, c, start, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelForCoversAllIndices exercises the worker pool itself.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]int, n)
+		ParallelFor(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}

@@ -68,6 +68,10 @@ func (s *Schedule) Repair(dead int, at float64) ([]RepairedOp, error) {
 	if len(orphans) == 0 {
 		return nil, nil
 	}
+	// Orphan deletion shrinks the dead container's extent and removes
+	// non-optional ops: drop the memoized lease end and makespan cache.
+	s.invalidateLease(dead)
+	s.msValid = false
 
 	// Survivors that already hold work; open a fresh container only if
 	// every used container is the dead one.

@@ -51,6 +51,22 @@ type Schedule struct {
 	conts [][]dataflow.OpID
 	// contType[c] is the index into Types of container c (0 if untyped).
 	contType []int
+
+	// leaseQ memoizes the leased quanta per container (-1 = stale). The
+	// interleaver and the skyline's candidate evaluation call IdleSlots and
+	// MoneyQuanta far more often than they mutate the schedule, so the
+	// ceil-divide per container is paid once per mutation instead of per
+	// read.
+	leaseQ []int
+	// idleCap sizes the next IdleSlots result: the previous call's slot
+	// count, a pure capacity hint with no correctness role.
+	idleCap int
+	// Makespan cache over the non-optional ops: earliest start, latest end
+	// and count. Maintained incrementally by Append/PlaceAt/Undo;
+	// invalidated by destructive edits (Repair).
+	msFirst, msLast float64
+	msCount         int
+	msValid         bool
 }
 
 // NewSchedule returns an empty schedule for g.
@@ -60,6 +76,7 @@ func NewSchedule(g *dataflow.Graph, pricing cloud.Pricing, spec cloud.Spec) *Sch
 		Pricing: pricing,
 		Spec:    spec,
 		assign:  make(map[dataflow.OpID]Assignment),
+		msValid: true,
 	}
 }
 
@@ -79,6 +96,15 @@ func (s *Schedule) ContainerType(c int) cloud.VMType {
 	return s.Types[ti]
 }
 
+// ContainerTypeIndex returns the index into Types of container c (0 when
+// untyped or out of range).
+func (s *Schedule) ContainerTypeIndex(c int) int {
+	if c < len(s.contType) {
+		return s.contType[c]
+	}
+	return 0
+}
+
 // SetContainerType fixes the type of container c before (or at) its first
 // use. Retyping a container that already holds operators is an error: its
 // assignments were computed under the old speed.
@@ -94,6 +120,7 @@ func (s *Schedule) SetContainerType(c, typeIdx int) error {
 		return fmt.Errorf("sched: container %d already in use", c)
 	}
 	s.contType[c] = typeIdx
+	s.invalidateLease(c)
 	return nil
 }
 
@@ -107,6 +134,12 @@ func (s *Schedule) Clone() *Schedule {
 		assign:   make(map[dataflow.OpID]Assignment, len(s.assign)),
 		conts:    make([][]dataflow.OpID, len(s.conts)),
 		contType: append([]int(nil), s.contType...),
+		leaseQ:   append([]int(nil), s.leaseQ...),
+		idleCap:  s.idleCap,
+		msFirst:  s.msFirst,
+		msLast:   s.msLast,
+		msCount:  s.msCount,
+		msValid:  s.msValid,
 	}
 	for k, v := range s.assign {
 		c.assign[k] = v
@@ -115,6 +148,33 @@ func (s *Schedule) Clone() *Schedule {
 		c.conts[i] = append([]dataflow.OpID(nil), ops...)
 	}
 	return c
+}
+
+// CopyFrom makes s a deep copy of src, reusing s's allocated storage. It is
+// the allocation-lean sibling of Clone used for the scheduler's scratch
+// schedules: a pooled schedule is re-pointed at a skyline member in O(ops)
+// time with no allocations once its map and slices have grown.
+func (s *Schedule) CopyFrom(src *Schedule) {
+	s.Graph, s.Pricing, s.Spec, s.Types = src.Graph, src.Pricing, src.Spec, src.Types
+	if s.assign == nil {
+		s.assign = make(map[dataflow.OpID]Assignment, len(src.assign))
+	} else {
+		clear(s.assign)
+	}
+	for k, v := range src.assign {
+		s.assign[k] = v
+	}
+	for len(s.conts) < len(src.conts) {
+		s.conts = append(s.conts, nil)
+	}
+	s.conts = s.conts[:len(src.conts)]
+	for i := range src.conts {
+		s.conts[i] = append(s.conts[i][:0], src.conts[i]...)
+	}
+	s.contType = append(s.contType[:0], src.contType...)
+	s.leaseQ = append(s.leaseQ[:0], src.leaseQ...)
+	s.idleCap = src.idleCap
+	s.msFirst, s.msLast, s.msCount, s.msValid = src.msFirst, src.msLast, src.msCount, src.msValid
 }
 
 // Assignment returns the placement of op and whether it is assigned.
@@ -177,7 +237,123 @@ func (s *Schedule) ensureContainer(c int) {
 	for len(s.conts) <= c {
 		s.conts = append(s.conts, nil)
 		s.contType = append(s.contType, 0)
+		s.leaseQ = append(s.leaseQ, 0) // empty container leases nothing
 	}
+}
+
+// invalidateLease marks container c's memoized lease quanta stale.
+func (s *Schedule) invalidateLease(c int) {
+	if c >= 0 && c < len(s.leaseQ) {
+		s.leaseQ[c] = -1
+	}
+}
+
+// noteAssigned folds a new assignment into the makespan cache.
+func (s *Schedule) noteAssigned(a Assignment, optional bool) {
+	if optional || !s.msValid {
+		return
+	}
+	if s.msCount == 0 || a.Start < s.msFirst {
+		s.msFirst = a.Start
+	}
+	if s.msCount == 0 || a.End > s.msLast {
+		s.msLast = a.End
+	}
+	s.msCount++
+}
+
+// recomputeMakespan rebuilds the non-optional extent cache from scratch.
+func (s *Schedule) recomputeMakespan() {
+	s.msFirst, s.msLast, s.msCount = math.Inf(1), 0, 0
+	for id, a := range s.assign {
+		if s.Graph.Op(id).Optional {
+			continue
+		}
+		if s.msCount == 0 || a.Start < s.msFirst {
+			s.msFirst = a.Start
+		}
+		if s.msCount == 0 || a.End > s.msLast {
+			s.msLast = a.End
+		}
+		s.msCount++
+	}
+	s.msValid = true
+}
+
+// UndoToken records how to reverse exactly one speculative placement
+// (AppendSpeculative or PlaceAtSpeculative): the placed operator, any
+// optional operators the placement evicted, container growth and retyping,
+// and the makespan cache it replaced. Tokens are single-use and only valid
+// as long as no other mutation happened in between — the skyline scheduler
+// applies/undoes strictly LIFO on a scratch schedule.
+type UndoToken struct {
+	op        dataflow.OpID
+	cont      int
+	prevConts int // len(conts) before the mutation
+	prevType  int // contType[cont] before retyping; -1 = untouched
+	evicted   []Assignment
+	placed    bool
+	valid     bool
+	// saved makespan cache
+	msFirst, msLast float64
+	msCount         int
+	msValid         bool
+}
+
+// beginUndo snapshots the cheap-to-save state before a speculative
+// placement on container c.
+func (s *Schedule) beginUndo(op dataflow.OpID, c int) UndoToken {
+	tok := UndoToken{
+		op: op, cont: c, prevConts: len(s.conts), prevType: -1, valid: true,
+		msFirst: s.msFirst, msLast: s.msLast, msCount: s.msCount, msValid: s.msValid,
+	}
+	if c < len(s.contType) {
+		tok.prevType = s.contType[c]
+	}
+	return tok
+}
+
+// rollbackShape reverts container growth and retyping recorded in tok.
+func (s *Schedule) rollbackShape(tok UndoToken) {
+	if len(s.conts) > tok.prevConts {
+		s.conts = s.conts[:tok.prevConts]
+		s.contType = s.contType[:tok.prevConts]
+		s.leaseQ = s.leaseQ[:tok.prevConts]
+	}
+	if tok.prevType >= 0 && tok.cont < len(s.contType) {
+		s.contType[tok.cont] = tok.prevType
+	}
+}
+
+// Undo reverses the placement recorded in tok, restoring the schedule to
+// its exact prior state (assignments, evicted optional ops, container set,
+// lease memo and makespan cache). Undoing an invalid token is a no-op.
+func (s *Schedule) Undo(tok UndoToken) {
+	if !tok.valid {
+		return
+	}
+	if tok.placed {
+		delete(s.assign, tok.op)
+		ops := s.conts[tok.cont]
+		for i, id := range ops {
+			if id == tok.op {
+				s.conts[tok.cont] = append(ops[:i], ops[i+1:]...)
+				break
+			}
+		}
+		for _, a := range tok.evicted {
+			s.assign[a.Op] = a
+			ops := s.conts[tok.cont]
+			pos := sort.Search(len(ops), func(i int) bool { return s.assign[ops[i]].Start >= a.Start })
+			ops = append(ops, 0)
+			copy(ops[pos+1:], ops[pos:])
+			ops[pos] = a.Op
+			s.conts[tok.cont] = ops
+		}
+	}
+	s.rollbackShape(tok)
+	s.invalidateLease(tok.cont)
+	s.msFirst, s.msLast, s.msCount, s.msValid = tok.msFirst, tok.msLast, tok.msCount, tok.msValid
 }
 
 // Append assigns op to container c at the earliest feasible time after the
@@ -189,12 +365,40 @@ func (s *Schedule) ensureContainer(c int) {
 // dataflow operators (§6.1) — and any optional operators its interval
 // overlaps are evicted from the schedule.
 func (s *Schedule) Append(op dataflow.OpID, c int, duration float64) (Assignment, error) {
+	a, _, err := s.appendOp(op, c, duration, false)
+	return a, err
+}
+
+// AppendSpeculative is Append plus an undo token; when typeIdx >= 0 the
+// container is first typed (the skyline's fresh-container choice), and the
+// token reverts the retyping too. On error the schedule is left untouched.
+func (s *Schedule) AppendSpeculative(op dataflow.OpID, c, typeIdx int, duration float64) (Assignment, UndoToken, error) {
+	tok := s.beginUndo(op, c)
+	if typeIdx >= 0 {
+		if err := s.SetContainerType(c, typeIdx); err != nil {
+			s.rollbackShape(tok)
+			return Assignment{}, UndoToken{}, err
+		}
+	}
+	a, evicted, err := s.appendOp(op, c, duration, true)
+	if err != nil {
+		s.rollbackShape(tok)
+		return Assignment{}, UndoToken{}, err
+	}
+	tok.placed = true
+	tok.evicted = evicted
+	return a, tok, nil
+}
+
+// appendOp implements Append; with wantEvicted it also collects the
+// optional assignments removed by preemption so callers can undo.
+func (s *Schedule) appendOp(op dataflow.OpID, c int, duration float64, wantEvicted bool) (Assignment, []Assignment, error) {
 	if _, dup := s.assign[op]; dup {
-		return Assignment{}, fmt.Errorf("sched: op %d already assigned", op)
+		return Assignment{}, nil, fmt.Errorf("sched: op %d already assigned", op)
 	}
 	o := s.Graph.Op(op)
 	if o == nil {
-		return Assignment{}, fmt.Errorf("sched: unknown op %d", op)
+		return Assignment{}, nil, fmt.Errorf("sched: unknown op %d", op)
 	}
 	s.ensureContainer(c)
 	if duration < 0 {
@@ -202,7 +406,7 @@ func (s *Schedule) Append(op dataflow.OpID, c int, duration float64) (Assignment
 	}
 	ready, err := s.ReadyTime(op, c)
 	if err != nil {
-		return Assignment{}, err
+		return Assignment{}, nil, err
 	}
 	tail := s.lastEnd(c)
 	if !o.Optional {
@@ -217,12 +421,16 @@ func (s *Schedule) Append(op dataflow.OpID, c int, duration float64) (Assignment
 	}
 	start := math.Max(ready, tail)
 	end := start + duration
+	var evicted []Assignment
 	if !o.Optional {
 		// Evict optional ops this interval would preempt.
 		kept := s.conts[c][:0]
 		for _, id := range s.conts[c] {
 			a := s.assign[id]
 			if s.Graph.Op(id).Optional && a.End > start+1e-9 && a.Start < end-1e-9 {
+				if wantEvicted {
+					evicted = append(evicted, a)
+				}
 				delete(s.assign, id)
 				continue
 			}
@@ -240,13 +448,33 @@ func (s *Schedule) Append(op dataflow.OpID, c int, duration float64) (Assignment
 	s.conts[c] = append(ops, 0)
 	copy(s.conts[c][pos+1:], s.conts[c][pos:])
 	s.conts[c][pos] = op
-	return a, nil
+	s.invalidateLease(c)
+	s.noteAssigned(a, o.Optional)
+	return a, evicted, nil
 }
 
 // PlaceAt assigns op to container c at exactly the given start time,
 // provided the interval does not overlap existing ops and respects the
 // op's predecessors. Used to drop index-build operators into idle slots.
 func (s *Schedule) PlaceAt(op dataflow.OpID, c int, start, duration float64) (Assignment, error) {
+	a, err := s.placeAtOp(op, c, start, duration)
+	return a, err
+}
+
+// PlaceAtSpeculative is PlaceAt plus an undo token. On error the schedule
+// is left untouched.
+func (s *Schedule) PlaceAtSpeculative(op dataflow.OpID, c int, start, duration float64) (Assignment, UndoToken, error) {
+	tok := s.beginUndo(op, c)
+	a, err := s.placeAtOp(op, c, start, duration)
+	if err != nil {
+		s.rollbackShape(tok)
+		return Assignment{}, UndoToken{}, err
+	}
+	tok.placed = true
+	return a, tok, nil
+}
+
+func (s *Schedule) placeAtOp(op dataflow.OpID, c int, start, duration float64) (Assignment, error) {
 	if _, dup := s.assign[op]; dup {
 		return Assignment{}, fmt.Errorf("sched: op %d already assigned", op)
 	}
@@ -280,6 +508,8 @@ func (s *Schedule) PlaceAt(op dataflow.OpID, c int, start, duration float64) (As
 	s.conts[c] = append(ops, 0)
 	copy(s.conts[c][pos+1:], s.conts[c][pos:])
 	s.conts[c][pos] = op
+	s.invalidateLease(c)
+	s.noteAssigned(a, o.Optional)
 	return a, nil
 }
 
@@ -288,24 +518,13 @@ func (s *Schedule) PlaceAt(op dataflow.OpID, c int, start, duration float64) (As
 // index-build operators do not count: they must not affect the dataflow.
 // For schedules containing only optional ops, all ops count.
 func (s *Schedule) Makespan() float64 {
-	first, last := math.Inf(1), 0.0
-	any := false
-	for id, a := range s.assign {
-		if s.Graph.Op(id).Optional {
-			continue
-		}
-		any = true
-		if a.Start < first {
-			first = a.Start
-		}
-		if a.End > last {
-			last = a.End
-		}
+	if !s.msValid {
+		s.recomputeMakespan()
 	}
-	if !any {
+	if s.msCount == 0 {
 		return s.TotalSpan()
 	}
-	return last - first
+	return s.msLast - s.msFirst
 }
 
 // TotalSpan returns the time from origin to the last assigned op's finish,
@@ -321,8 +540,17 @@ func (s *Schedule) TotalSpan() float64 {
 }
 
 // leaseEndQuanta returns the number of leased quanta for container c, which
-// covers its last operator.
+// covers its last operator. The value is memoized per container (-1 marks
+// a stale entry) and invalidated by Append/PlaceAt/Undo/Repair.
 func (s *Schedule) leaseEndQuanta(c int) int {
+	if c < len(s.leaseQ) {
+		if q := s.leaseQ[c]; q >= 0 {
+			return q
+		}
+		q := s.Pricing.Quanta(s.lastEnd(c))
+		s.leaseQ[c] = q
+		return q
+	}
 	return s.Pricing.Quanta(s.lastEnd(c))
 }
 
@@ -360,7 +588,14 @@ func (s *Schedule) Money() float64 {
 // quantum boundaries (the fragmentation of the schedule, §3), sorted by
 // container then start time.
 func (s *Schedule) IdleSlots() []Slot {
-	var out []Slot
+	// idleCap remembers the previous result size: the interleaver calls
+	// IdleSlots repeatedly on a near-constant schedule, so sizing the
+	// result up front replaces log2(n) growth reallocations with one.
+	hint := s.idleCap
+	if hint < 8 {
+		hint = 8
+	}
+	out := make([]Slot, 0, hint)
 	q := s.Pricing.QuantumSeconds
 	for c := range s.conts {
 		if len(s.conts[c]) == 0 {
@@ -369,28 +604,33 @@ func (s *Schedule) IdleSlots() []Slot {
 		leaseEnd := float64(s.leaseEndQuanta(c)) * q
 		// Build the busy intervals and walk the gaps.
 		cursor := 0.0
-		emit := func(from, to float64) {
-			for from < to-1e-9 {
-				qi := int(from / q)
-				qEnd := math.Min(float64(qi+1)*q, to)
-				if qEnd-from > 1e-9 {
-					out = append(out, Slot{Container: c, Quantum: qi, Start: from, End: qEnd})
-				}
-				from = qEnd
-			}
-		}
 		for _, id := range s.conts[c] {
 			a := s.assign[id]
 			if a.Start > cursor {
-				emit(cursor, a.Start)
+				out = appendIdle(out, c, q, cursor, a.Start)
 			}
 			if a.End > cursor {
 				cursor = a.End
 			}
 		}
 		if cursor < leaseEnd {
-			emit(cursor, leaseEnd)
+			out = appendIdle(out, c, q, cursor, leaseEnd)
 		}
+	}
+	s.idleCap = len(out)
+	return out
+}
+
+// appendIdle splits the idle interval [from, to) on container c at quantum
+// boundaries and appends the pieces to out.
+func appendIdle(out []Slot, c int, q, from, to float64) []Slot {
+	for from < to-1e-9 {
+		qi := int(from / q)
+		qEnd := math.Min(float64(qi+1)*q, to)
+		if qEnd-from > 1e-9 {
+			out = append(out, Slot{Container: c, Quantum: qi, Start: from, End: qEnd})
+		}
+		from = qEnd
 	}
 	return out
 }

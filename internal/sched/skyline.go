@@ -20,6 +20,12 @@ type Options struct {
 	// iterations; 0 means unlimited. Pruning keeps the fastest and the
 	// cheapest ends of the frontier and evenly spaced points between.
 	MaxSkyline int
+	// Parallelism is the number of workers candidate expansion fans out
+	// over. 0 (the zero value) means runtime.NumCPU(); 1 runs the exact
+	// historical serial path. The skyline output is identical at every
+	// setting: expansion results are index-addressed per frontier member
+	// and merged in frontier order before the Pareto filter.
+	Parallelism int
 	// Types, when non-empty, enables the heterogeneous-pool extension:
 	// each fresh container may be leased as any of these VM types, and
 	// the skyline explores the choices (§3: "the scheduler can consider
@@ -49,6 +55,9 @@ type point struct {
 	// ops counts assigned operators: the §5.3.2 tie-break prefers more
 	// (optional) operators at equal time and money.
 	ops int
+	// conts counts used containers: the deterministic duplicate tie-break
+	// prefers fewer containers at equal objectives.
+	conts int
 	// seqIdle is the §5.3.1 tie-break: most sequential idle time.
 	seqIdle float64
 }
@@ -58,6 +67,7 @@ func (s *Schedule) point() point {
 		time:    s.Makespan(),
 		money:   s.MoneyQuanta(),
 		ops:     s.Assigned(),
+		conts:   s.Containers(),
 		seqIdle: -1, // computed lazily only when needed for tie-breaks
 	}
 }
@@ -78,10 +88,70 @@ func equalObjectives(a, b point) bool {
 	return math.Abs(a.time-b.time) <= eps && math.Abs(a.money-b.money) <= eps
 }
 
-// candidate pairs a schedule with its cached objective point.
+// move records how to derive a candidate from its source schedule: either
+// an Append of op onto container cont (typing a fresh container as typeIdx
+// when >= 0), or a PlaceAt of op at start (place == true). Candidates stay
+// unmaterialized — src plus move — until they survive the Pareto filter.
+type move struct {
+	op      dataflow.OpID
+	cont    int
+	typeIdx int
+	start   float64
+	place   bool
+}
+
+// candidate pairs a schedule with its cached objective point. A candidate
+// is either materialized (s != nil, owning its schedule) or speculative
+// (src + mv describe the placement; p was measured through apply/undo).
 type candidate struct {
-	s *Schedule
-	p point
+	s   *Schedule
+	src *Schedule
+	mv  move
+	p   point
+}
+
+// apply replays the candidate's move on sched (its source or a copy of
+// it), returning the undo token. The move was legal when the candidate was
+// evaluated, so failures cannot happen on a faithful copy.
+func (c *candidate) apply(sched *Schedule) (UndoToken, error) {
+	if c.mv.place {
+		_, tok, err := sched.PlaceAtSpeculative(c.mv.op, c.mv.cont, c.mv.start, -1)
+		return tok, err
+	}
+	_, tok, err := sched.AppendSpeculative(c.mv.op, c.mv.cont, c.mv.typeIdx, -1)
+	return tok, err
+}
+
+// materialize turns a speculative candidate into an owning one by copying
+// its source into a pooled schedule and replaying the move.
+func (c *candidate) materialize() {
+	if c.s != nil {
+		return
+	}
+	ns := getSchedule()
+	ns.CopyFrom(c.src)
+	if _, err := c.apply(ns); err != nil {
+		// Cannot happen: the move was validated against an identical copy.
+		putSchedule(ns)
+		return
+	}
+	c.s = ns
+}
+
+// maxSeqIdle resolves the candidate's §5.3.1 tie-break value, measuring
+// speculatively on the shared source schedule when unmaterialized (apply,
+// measure, undo — callers are serial at this point).
+func (c *candidate) maxSeqIdle() float64 {
+	if c.s != nil {
+		return c.s.MaxSequentialIdle()
+	}
+	tok, err := c.apply(c.src)
+	if err != nil {
+		return 0
+	}
+	v := c.src.MaxSequentialIdle()
+	c.src.Undo(tok)
+	return v
 }
 
 // pareto filters candidates down to the non-dominated frontier. Among
@@ -135,16 +205,32 @@ func prune(cands []candidate, max int) []candidate {
 	return out
 }
 
+// preferCompact is the deterministic duplicate tie-break of last resort:
+// among candidates indistinguishable on every preceding criterion, keep
+// the one using fewer containers, then the one with the lower op count.
+// Equality on all criteria keeps the incumbent (first in merge order),
+// which is itself deterministic because candidates are merged in frontier
+// order before the Pareto filter.
+func preferCompact(a, b *candidate) bool {
+	if a.p.conts != b.p.conts {
+		return a.p.conts < b.p.conts
+	}
+	return a.p.ops < b.p.ops
+}
+
 // preferSeqIdle is the §5.3.1 tie-break: among equal schedules keep the one
 // with the most sequential idle time.
 func preferSeqIdle(a, b *candidate) bool {
 	if a.p.seqIdle < 0 {
-		a.p.seqIdle = a.s.MaxSequentialIdle()
+		a.p.seqIdle = a.maxSeqIdle()
 	}
 	if b.p.seqIdle < 0 {
-		b.p.seqIdle = b.s.MaxSequentialIdle()
+		b.p.seqIdle = b.maxSeqIdle()
 	}
-	return a.p.seqIdle > b.p.seqIdle
+	if a.p.seqIdle != b.p.seqIdle {
+		return a.p.seqIdle > b.p.seqIdle
+	}
+	return preferCompact(a, b)
 }
 
 // preferMoreOps is the §5.3.2 tie-break: among equal schedules keep the one
@@ -204,6 +290,10 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 	frontier := sk.Opts.Metrics.Histogram("idxflow_skyline_frontier_size",
 		"Pareto frontier size after each skyline iteration.",
 		telemetry.ExponentialBuckets(1, 2, 8))
+	workers := Workers(sk.Opts.Parallelism)
+	sk.Opts.Metrics.Gauge("idxflow_sched_parallel_workers",
+		"Worker-pool size used for skyline candidate expansion.").
+		Set(float64(workers))
 
 	topo, err := g.TopoSort()
 	if err != nil {
@@ -267,61 +357,93 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 		}
 	}
 
+	// results[i] receives the candidate expansions of frontier member i.
+	// Workers claim members dynamically but always write to their member's
+	// slot, so the merged candidate order — and with it the Pareto filter's
+	// stable sort and every tie-break — is independent of scheduling.
+	results := make([][]candidate, 0, len(sky))
+
 	for _, st := range order {
 		iterations.Inc()
+		results = results[:0]
+		for range sky {
+			results = append(results, nil)
+		}
 		if st.optional {
 			// Union of the previous skyline and every gap placement
 			// (§5.3.2: "the previous skyline is kept and unioned with the
 			// set of schedules S before computing the new skyline").
-			cands := append([]candidate(nil), sky...)
-			for _, c := range sky {
-				for _, a := range placements(c.s, st.id) {
-					ns := c.s.Clone()
-					if _, err := ns.PlaceAt(st.id, a.Container, a.Start, -1); err != nil {
-						continue
-					}
-					cands = append(cands, candidate{s: ns, p: ns.point()})
+			ParallelFor(len(sky), workers, func(i int) {
+				src := sky[i].s
+				places := placements(src, st.id)
+				if len(places) == 0 {
+					return
 				}
+				scratch := getSchedule()
+				scratch.CopyFrom(src)
+				var local []candidate
+				for _, a := range places {
+					mv := move{op: st.id, cont: a.Container, start: a.Start, place: true}
+					if _, tok, err := scratch.PlaceAtSpeculative(mv.op, mv.cont, mv.start, -1); err == nil {
+						p := scratch.point()
+						scratch.Undo(tok)
+						local = append(local, candidate{src: src, mv: mv, p: p})
+					}
+				}
+				putSchedule(scratch)
+				results[i] = local
+			})
+			cands := append([]candidate(nil), sky...)
+			for i := range results {
+				cands = append(cands, results[i]...)
 			}
 			candidates.Add(float64(len(cands)))
-			sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+			sky = sk.advance(sky, cands, prefer)
 			frontier.Observe(float64(len(sky)))
 			continue
 		}
-		var cands []candidate
-		for _, c := range sky {
+		ParallelFor(len(sky), workers, func(i int) {
+			src := sky[i].s
 			// Candidate containers: each already-used container plus one
 			// fresh one (fresh containers are interchangeable); a fresh
 			// container may be leased as any configured VM type.
-			used := c.s.NumSlots()
+			used := src.NumSlots()
 			limit := used + 1
 			if limit > sk.Opts.MaxContainers {
 				limit = sk.Opts.MaxContainers
 			}
+			scratch := getSchedule()
+			scratch.CopyFrom(src)
+			var local []candidate
 			for cont := 0; cont < limit; cont++ {
 				nTypes := 1
 				if cont >= used && len(sk.Opts.Types) > 1 {
 					nTypes = len(sk.Opts.Types)
 				}
 				for ti := 0; ti < nTypes; ti++ {
-					ns := c.s.Clone()
+					mv := move{op: st.id, cont: cont, typeIdx: -1}
 					if cont >= used && len(sk.Opts.Types) > 0 {
-						if err := ns.SetContainerType(cont, ti); err != nil {
-							continue
-						}
+						mv.typeIdx = ti
 					}
-					if _, err := ns.Append(st.id, cont, -1); err != nil {
-						continue
+					if _, tok, err := scratch.AppendSpeculative(mv.op, mv.cont, mv.typeIdx, -1); err == nil {
+						p := scratch.point()
+						scratch.Undo(tok)
+						local = append(local, candidate{src: src, mv: mv, p: p})
 					}
-					cands = append(cands, candidate{s: ns, p: ns.point()})
 				}
 			}
+			putSchedule(scratch)
+			results[i] = local
+		})
+		var cands []candidate
+		for i := range results {
+			cands = append(cands, results[i]...)
 		}
 		if len(cands) == 0 {
 			return nil
 		}
 		candidates.Add(float64(len(cands)))
-		sky = prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+		sky = sk.advance(sky, cands, prefer)
 		frontier.Observe(float64(len(sky)))
 	}
 
@@ -331,6 +453,24 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 		out[i] = c.s
 	}
 	return out
+}
+
+// advance runs the Pareto filter and frontier prune over the merged
+// candidate set, materializes the survivors, and recycles the schedules of
+// dropped previous-frontier members into the scratch pool.
+func (sk *Skyline) advance(prev, cands []candidate, prefer func(a, b *candidate) bool) []candidate {
+	next := prune(pareto(cands, prefer), sk.Opts.MaxSkyline)
+	surviving := make(map[*Schedule]bool, len(next))
+	for i := range next {
+		next[i].materialize()
+		surviving[next[i].s] = true
+	}
+	for i := range prev {
+		if s := prev[i].s; s != nil && !surviving[s] {
+			putSchedule(s)
+		}
+	}
+	return next
 }
 
 // placements enumerates feasible gap placements for an optional op in s:

@@ -74,10 +74,15 @@ func (t *Tracer) Enabled() bool {
 
 // Span is one in-flight operation. End completes it; SetAttr attaches a
 // key/value rendered into the Chrome trace "args". A nil Span is a no-op.
+// Spans are safe for concurrent use: a span handle may be shared with the
+// worker goroutines of a parallel section that attach attributes while the
+// owner ends it.
 type Span struct {
 	t     *Tracer
 	name  string
 	start time.Time
+
+	mu    sync.Mutex // guards args and ended
 	args  map[string]any
 	ended bool
 }
@@ -106,6 +111,11 @@ func (s *Span) SetAttr(key string, value any) *Span {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s // attribute arrived after End; the event is already recorded
+	}
 	if s.args == nil {
 		s.args = make(map[string]any, 4)
 	}
@@ -115,10 +125,17 @@ func (s *Span) SetAttr(key string, value any) *Span {
 
 // End completes the span and records its event. Ending twice is a no-op.
 func (s *Span) End() {
-	if s == nil || s.ended {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
 		return
 	}
 	s.ended = true
+	args := s.args
+	s.mu.Unlock()
 	t := s.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -132,7 +149,7 @@ func (s *Span) End() {
 		Dur:   float64(end.Sub(s.start)) / float64(time.Microsecond),
 		PID:   1,
 		TID:   1,
-		Args:  s.args,
+		Args:  args,
 	})
 }
 

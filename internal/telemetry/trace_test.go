@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -130,5 +132,45 @@ func TestTracerReset(t *testing.T) {
 	tr.Reset()
 	if tr.Len() != 0 {
 		t.Errorf("events after reset = %d", tr.Len())
+	}
+}
+
+func TestSpanConcurrentSetAttr(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp.SetAttr(fmt.Sprintf("k%d", w), i)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if len(events[0].Args) != 8 {
+		t.Errorf("args = %d, want 8", len(events[0].Args))
+	}
+}
+
+func TestSpanSetAttrAfterEndIsNoOp(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("late")
+	sp.SetAttr("early", 1)
+	sp.End()
+	sp.SetAttr("late", 2) // must not race with the recorded event's Args
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if _, ok := events[0].Args["late"]; ok {
+		t.Error("attribute set after End leaked into the recorded event")
 	}
 }

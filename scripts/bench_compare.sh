@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_compare.sh — diff two bench.sh JSON summaries and fail loudly on
+# regression. Compares ns/op and allocs/op for every benchmark present in
+# both files and exits non-zero (with a table) if any metric regressed by
+# more than the threshold (default 15%).
+#
+# Usage:
+#   scripts/bench_compare.sh BASELINE.json CURRENT.json [threshold-pct]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE="${1:?usage: bench_compare.sh BASELINE.json CURRENT.json [threshold-pct]}"
+CURR="${2:?usage: bench_compare.sh BASELINE.json CURRENT.json [threshold-pct]}"
+THRESH="${3:-15}"
+
+for f in "$BASE" "$CURR"; do
+	if [ ! -f "$f" ]; then
+		echo "bench_compare: $f not found (run scripts/bench.sh first)" >&2
+		exit 2
+	fi
+done
+
+# bench.sh emits one {"name": ..., "ns_per_op": ..., "allocs_per_op": ...}
+# object per line, so line-oriented awk is enough — no jq dependency.
+awk -v thresh="$THRESH" -v basefile="$BASE" -v currfile="$CURR" '
+function parse(line, arr) {
+	if (match(line, /"name": *"[^"]*"/) == 0) return 0
+	arr["name"] = substr(line, RSTART, RLENGTH)
+	sub(/"name": *"/, "", arr["name"]); sub(/"$/, "", arr["name"])
+	if (match(line, /"ns_per_op": *[0-9.eE+-]+/) == 0) return 0
+	arr["ns"] = substr(line, RSTART, RLENGTH); sub(/.*: */, "", arr["ns"])
+	if (match(line, /"allocs_per_op": *[0-9.eE+-]+/) == 0) return 0
+	arr["allocs"] = substr(line, RSTART, RLENGTH); sub(/.*: */, "", arr["allocs"])
+	return 1
+}
+BEGIN {
+	while ((getline line < basefile) > 0)
+		if (parse(line, b)) { base_ns[b["name"]] = b["ns"]; base_al[b["name"]] = b["allocs"] }
+	close(basefile)
+	while ((getline line < currfile) > 0)
+		if (parse(line, c)) { curr_ns[c["name"]] = c["ns"]; curr_al[c["name"]] = c["allocs"]; order[++n] = c["name"] }
+	close(currfile)
+
+	printf "%-40s %15s %15s %9s %12s %12s %9s\n", "benchmark", "base ns/op", "curr ns/op", "Δns%", "base allocs", "curr allocs", "Δallocs%"
+	bad = 0
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		if (!(name in base_ns)) continue
+		dns = 0; dal = 0
+		if (base_ns[name] + 0 > 0) dns = (curr_ns[name] - base_ns[name]) / base_ns[name] * 100
+		if (base_al[name] + 0 > 0) dal = (curr_al[name] - base_al[name]) / base_al[name] * 100
+		flag = ""
+		if (dns > thresh || dal > thresh) { flag = "  << REGRESSION"; bad++ }
+		printf "%-40s %15.0f %15.0f %8.1f%% %12.0f %12.0f %8.1f%%%s\n",
+			name, base_ns[name], curr_ns[name], dns, base_al[name], curr_al[name], dal, flag
+	}
+	if (bad) {
+		printf "\n%d benchmark(s) regressed more than %s%% vs %s\n", bad, thresh, basefile
+		exit 1
+	}
+	printf "\nno regression beyond %s%% vs %s\n", thresh, basefile
+}
+' </dev/null

@@ -18,7 +18,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test =="
+go test ./...
+
+# The scheduler's worker-pool expansion and the experiment fan-out are
+# concurrent; the race detector runs as its own pass, in short mode to
+# keep the instrumented run fast.
+echo "== go test -race -short =="
+go test -race -short ./...
 
 echo "CI checks passed."
