@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-short vet fmt-check ci bench bench-short bench-compare clean
+.PHONY: all build test race race-short vet fmt-check ci bench bench-short bench-compare profile clean
 
 all: build
 
@@ -33,11 +33,20 @@ bench:
 bench-short:
 	scripts/bench.sh -short /dev/null
 
-# Compare the current BENCH_PR3.json (run `make bench` first) against the
-# committed BENCH_PR2.json baseline; fails on >15% ns/op or allocs/op
+# Compare the current BENCH_PR4.json (run `make bench` first) against the
+# committed BENCH_PR3.json baseline; fails on >15% ns/op or allocs/op
 # regression in any shared benchmark.
 bench-compare:
-	scripts/bench_compare.sh BENCH_PR2.json BENCH_PR3.json
+	scripts/bench_compare.sh BENCH_PR3.json BENCH_PR4.json
+
+# Profile the experiment driver end to end; see README "Profiling" for how
+# to read the output. PROFILE_ARGS selects the workload (default fig6).
+PROFILE_ARGS ?= -exp fig6
+profile: build
+	$(GO) run ./cmd/idxflow-experiments $(PROFILE_ARGS) -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with:"
+	@echo "  go tool pprof -top cpu.prof"
+	@echo "  go tool pprof -top -sample_index=alloc_objects mem.prof"
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"idxflow/internal/experiments"
+	"idxflow/internal/profiling"
 	"idxflow/internal/telemetry"
 )
 
@@ -42,8 +43,11 @@ func main() {
 		faults   = flag.String("faults", "", "comma-separated fault rates (events/container/quantum) for -exp fault; empty = default sweep")
 		faultSd  = flag.Int64("fault-seed", 42, "seed for the generated fault plans of -exp fault")
 		parallel = flag.Int("parallelism", 0, "experiment fan-out pool size (0 = NumCPU, 1 = serial); results are identical at any setting")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	defer profiling.Start(*cpuProf, *memProf)()
 
 	experiments.SetParallelism(*parallel)
 

@@ -22,6 +22,7 @@ import (
 	"idxflow/internal/dataflow"
 	"idxflow/internal/fault"
 	"idxflow/internal/flowlang"
+	"idxflow/internal/profiling"
 	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
@@ -48,10 +49,13 @@ func main() {
 		parallel  = flag.Int("parallelism", 0, "scheduler worker-pool size (0 = NumCPU, 1 = serial); output is identical at any setting")
 		verbose   = flag.Bool("v", false, "print per-dataflow results")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	var files flowFiles
 	flag.Var(&files, "flow", "flowlang file to submit (repeatable; overrides -generator)")
 	flag.Parse()
+	defer profiling.Start(*cpuProf, *memProf)()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed

@@ -89,14 +89,44 @@ func (t *Tree) Get(key int64) (int64, bool) {
 // GetAll returns the values of every entry with the given key, in insertion
 // order within the key run.
 func (t *Tree) GetAll(key int64) []int64 {
-	var out []int64
+	return t.GetAllAppend(nil, key)
+}
+
+// GetAllAppend appends the values of every entry with the given key to dst
+// and returns it; probe-heavy callers (index joins) reuse one buffer across
+// probes instead of allocating per key.
+func (t *Tree) GetAllAppend(dst []int64, key int64) []int64 {
 	n := t.findLeaf(key)
 	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
 	for pos < len(n.keys) && n.keys[pos] == key {
-		out = append(out, n.vals[pos])
+		dst = append(dst, n.vals[pos])
 		pos++
 	}
-	return out
+	return dst
+}
+
+// CountRange returns the number of entries with lo <= key < hi without
+// visiting them individually: fully-covered leaves are counted whole, so
+// the cost is O(log n) plus the number of leaves spanned. Callers use it to
+// size a result slice exactly before a Range scan.
+func (t *Tree) CountRange(lo, hi int64) int {
+	if hi <= lo {
+		return 0
+	}
+	n := t.findLeaf(lo)
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	count := 0
+	for n != nil {
+		if len(n.keys) > 0 && n.keys[len(n.keys)-1] < hi {
+			count += len(n.keys) - pos
+			n = n.next
+			pos = 0
+			continue
+		}
+		end := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= hi })
+		return count + end - pos
+	}
+	return count
 }
 
 // Range calls visit for every entry with lo <= key < hi, in key order.
@@ -240,39 +270,91 @@ func BulkLoad(order int, pairs []Pair) (*Tree, error) {
 			return nil, fmt.Errorf("bptree: BulkLoad input not sorted at %d", i)
 		}
 	}
-	t := &Tree{order: order, size: len(pairs)}
-	if len(pairs) == 0 {
+	keys := make([]int64, len(pairs))
+	vals := make([]int64, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.Key
+		vals[i] = p.Val
+	}
+	return bulkFromSorted(order, keys, vals), nil
+}
+
+// BulkLoadSorted builds a tree in O(n) from parallel key/value slices
+// sorted by key (ties in any order), without materializing []Pair. The
+// inputs are copied once into exactly-sized backing arrays that the leaf
+// level subslices in place, so the whole load performs two data
+// allocations regardless of tree size.
+func BulkLoadSorted(order int, keys, vals []int64) (*Tree, error) {
+	if order < 4 {
+		order = 4
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("bptree: BulkLoadSorted length mismatch: %d keys, %d vals", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("bptree: BulkLoadSorted input not sorted at %d", i)
+		}
+	}
+	ks := make([]int64, len(keys))
+	copy(ks, keys)
+	vs := make([]int64, len(vals))
+	copy(vs, vals)
+	return bulkFromSorted(order, ks, vs), nil
+}
+
+// kvSorter stable-sorts parallel key/value slices by key.
+type kvSorter struct{ keys, vals []int64 }
+
+func (s kvSorter) Len() int           { return len(s.keys) }
+func (s kvSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s kvSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// SortByKey stable-sorts the parallel key/value slices by key, preserving
+// the relative order of equal keys — the preparation step for
+// BulkLoadSorted when entries arrive unsorted.
+func SortByKey(keys, vals []int64) { sort.Stable(kvSorter{keys, vals}) }
+
+// bulkFromSorted builds the tree over already-sorted parallel slices,
+// taking ownership of them: each leaf is a full-capacity subslice of the
+// inputs (later Inserts reallocate on append, so leaves never clobber each
+// other), which makes the leaf level allocation-free.
+func bulkFromSorted(order int, keys, vals []int64) *Tree {
+	t := &Tree{order: order, size: len(keys)}
+	if len(keys) == 0 {
 		t.root = &node{leaf: true}
-		return t, nil
+		return t
 	}
 
-	// Build leaves in chunks of ~order entries, extending each chunk so a
+	// Carve leaves in chunks of ~order entries, extending each chunk so a
 	// key run never crosses a boundary.
-	var leaves []*node
-	for i := 0; i < len(pairs); {
+	leaves := make([]*node, 0, (len(keys)+order-1)/order)
+	for i := 0; i < len(keys); {
 		end := i + order
-		if end > len(pairs) {
-			end = len(pairs)
+		if end > len(keys) {
+			end = len(keys)
 		}
-		for end < len(pairs) && pairs[end].Key == pairs[end-1].Key {
+		for end < len(keys) && keys[end] == keys[end-1] {
 			end++
 		}
-		leaf := &node{leaf: true}
-		for _, p := range pairs[i:end] {
-			leaf.keys = append(leaf.keys, p.Key)
-			leaf.vals = append(leaf.vals, p.Val)
-		}
-		leaves = append(leaves, leaf)
+		leaves = append(leaves, &node{
+			leaf: true,
+			keys: keys[i:end:end],
+			vals: vals[i:end:end],
+		})
 		i = end
 	}
 	for i := 0; i+1 < len(leaves); i++ {
 		leaves[i].next = leaves[i+1]
 	}
 
-	// Build internal levels bottom-up.
+	// Build internal levels bottom-up with exactly-sized nodes.
 	level := leaves
 	for len(level) > 1 {
-		var parents []*node
+		parents := make([]*node, 0, (len(level)+order)/(order+1))
 		for i := 0; i < len(level); {
 			end := i + order + 1 // children per parent
 			if end > len(level) {
@@ -282,7 +364,10 @@ func BulkLoad(order int, pairs []Pair) (*Tree, error) {
 			if rem := len(level) - end; rem == 1 {
 				end--
 			}
-			p := &node{}
+			p := &node{
+				keys:     make([]int64, 0, end-i-1),
+				children: make([]*node, 0, end-i),
+			}
 			for j := i; j < end; j++ {
 				p.children = append(p.children, level[j])
 				if j > i {
@@ -295,7 +380,7 @@ func BulkLoad(order int, pairs []Pair) (*Tree, error) {
 		level = parents
 	}
 	t.root = level[0]
-	return t, nil
+	return t
 }
 
 func minKey(n *node) int64 {

@@ -333,3 +333,128 @@ func FuzzTreeAgainstMap(f *testing.F) {
 		}
 	})
 }
+
+func TestBulkLoadSortedMatchesBulkLoad(t *testing.T) {
+	const n = 1000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	pairs := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(i / 3) // duplicates
+		vals[i] = int64(i)
+		pairs[i] = Pair{Key: keys[i], Val: vals[i]}
+	}
+	want, err := BulkLoad(16, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BulkLoadSorted(16, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got.Len() != want.Len() || got.Height() != want.Height() {
+		t.Fatalf("shape mismatch: len %d/%d height %d/%d",
+			got.Len(), want.Len(), got.Height(), want.Height())
+	}
+	var a, b []int64
+	want.Scan(func(k, v int64) bool { a = append(a, k, v); return true })
+	got.Scan(func(k, v int64) bool { b = append(b, k, v); return true })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The loaded tree must not alias the caller's slices.
+	keys[0], vals[0] = 999, 999
+	if v, ok := got.Get(0); !ok || v != 0 {
+		t.Errorf("Get(0) after caller mutation = %d, %v; want 0, true", v, ok)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("Validate after caller mutation: %v", err)
+	}
+}
+
+func TestBulkLoadSortedErrors(t *testing.T) {
+	if _, err := BulkLoadSorted(8, []int64{2, 1}, []int64{0, 0}); err == nil {
+		t.Error("unsorted input accepted")
+	}
+	if _, err := BulkLoadSorted(8, []int64{1}, []int64{0, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	tr, err := BulkLoadSorted(8, nil, nil)
+	if err != nil || tr.Len() != 0 {
+		t.Errorf("empty load: %v len=%d", err, tr.Len())
+	}
+}
+
+func TestSortByKeyStable(t *testing.T) {
+	keys := []int64{3, 1, 3, 1, 2}
+	vals := []int64{0, 1, 2, 3, 4}
+	SortByKey(keys, vals)
+	wantK := []int64{1, 1, 2, 3, 3}
+	wantV := []int64{1, 3, 4, 0, 2}
+	for i := range keys {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("SortByKey = %v/%v, want %v/%v", keys, vals, wantK, wantV)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	tr, err := BulkLoadSorted(8, seq(0, 500), seq(0, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		lo, hi int64
+		want   int
+	}{
+		{0, 500, 500}, {0, 0, 0}, {100, 100, 0}, {250, 100, 0},
+		{0, 1, 1}, {499, 500, 1}, {100, 350, 250}, {-50, 10, 10},
+		{490, 600, 10}, {600, 700, 0},
+	} {
+		if got := tr.CountRange(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+		n := 0
+		tr.Range(tc.lo, tc.hi, func(k, v int64) bool { n++; return true })
+		if n != tc.want {
+			t.Errorf("Range(%d, %d) visited %d, want %d", tc.lo, tc.hi, n, tc.want)
+		}
+	}
+}
+
+func TestGetAllAppendReusesBuffer(t *testing.T) {
+	keys := []int64{1, 1, 1, 2, 3, 3}
+	vals := []int64{10, 11, 12, 20, 30, 31}
+	tr, err := BulkLoadSorted(4, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, 0, 8)
+	buf = tr.GetAllAppend(buf[:0], 1)
+	if len(buf) != 3 || buf[0] != 10 || buf[2] != 12 {
+		t.Errorf("GetAllAppend(1) = %v", buf)
+	}
+	buf = tr.GetAllAppend(buf[:0], 3)
+	if len(buf) != 2 || buf[0] != 30 || buf[1] != 31 {
+		t.Errorf("GetAllAppend(3) = %v", buf)
+	}
+	if buf = tr.GetAllAppend(buf[:0], 99); len(buf) != 0 {
+		t.Errorf("GetAllAppend(99) = %v, want empty", buf)
+	}
+}
+
+func seq(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}

@@ -261,6 +261,9 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 	s.ins = newServiceInstruments(s.tel)
 	s.storage.Instrument(s.tel)
 	s.eval.Metrics = s.tel
+	// Bind the executor's instrument bundle once up front so the per-query
+	// Submit path hits the registry memo instead of re-resolving handles.
+	sim.PreregisterMetrics(s.tel)
 	if cfg.AdaptiveFading {
 		s.fader = gain.NewAdaptiveFader(cfg.Gain.FadeD)
 		s.eval.FadeOverride = s.fader.FadeFor

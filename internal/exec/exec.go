@@ -23,12 +23,14 @@ func CommitDate(r tpch.Row) int64 { return int64(r.CommitDate) }
 
 // BuildBTree bulk-loads a B+Tree index mapping key to row position.
 func BuildBTree(rows []tpch.Row, key KeyFunc) (*bptree.Tree, error) {
-	pairs := make([]bptree.Pair, len(rows))
+	keys := make([]int64, len(rows))
+	vals := make([]int64, len(rows))
 	for i, r := range rows {
-		pairs[i] = bptree.Pair{Key: key(r), Val: int64(i)}
+		keys[i] = key(r)
+		vals[i] = int64(i)
 	}
-	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
-	return bptree.BulkLoad(bptree.DefaultOrder, pairs)
+	bptree.SortByKey(keys, vals)
+	return bptree.BulkLoadSorted(bptree.DefaultOrder, keys, vals)
 }
 
 // HashIndex maps a key to the positions of the rows holding it — the O(1)
@@ -85,9 +87,10 @@ func ScanRange(rows []tpch.Row, key KeyFunc, lo, hi int64) []int32 {
 }
 
 // IndexRange returns the positions of rows with lo <= key < hi using the
-// index in O(log n + k).
+// index in O(log n + k). The result is sized exactly up front via
+// CountRange, so the scan appends without reallocating.
 func IndexRange(tree *bptree.Tree, lo, hi int64) []int32 {
-	var out []int32
+	out := make([]int32, 0, tree.CountRange(lo, hi))
 	tree.Range(lo, hi, func(k, v int64) bool {
 		out = append(out, int32(v))
 		return true
@@ -179,11 +182,14 @@ func NestedLoopJoin(left, right []tpch.Row, lkey, rkey KeyFunc) []JoinPair {
 	return out
 }
 
-// IndexJoin joins by probing a B+Tree on the right side in O(n log m).
+// IndexJoin joins by probing a B+Tree on the right side in O(n log m). One
+// probe buffer is reused across all lookups.
 func IndexJoin(left []tpch.Row, lkey KeyFunc, rightTree *bptree.Tree) []JoinPair {
-	var out []JoinPair
+	out := make([]JoinPair, 0, len(left))
+	var matches []int64
 	for i, l := range left {
-		for _, v := range rightTree.GetAll(lkey(l)) {
+		matches = rightTree.GetAllAppend(matches[:0], lkey(l))
+		for _, v := range matches {
 			out = append(out, JoinPair{int32(i), int32(v)})
 		}
 	}
@@ -207,7 +213,13 @@ func SortMergeJoin(leftTree, rightTree *bptree.Tree) []JoinPair {
 		return out
 	}
 	ls, rs := collect(leftTree), collect(rightTree)
-	var out []JoinPair
+	// A 1:1 join yields min(n, m) pairs; start there and let true many-many
+	// key runs grow the slice.
+	hint := len(ls)
+	if len(rs) < hint {
+		hint = len(rs)
+	}
+	out := make([]JoinPair, 0, hint)
 	i, j := 0, 0
 	for i < len(ls) && j < len(rs) {
 		switch {

@@ -8,6 +8,7 @@ import (
 	"idxflow/internal/dataflow"
 	"idxflow/internal/sched"
 	"idxflow/internal/sim"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -45,39 +46,62 @@ func scaleGraph(g *dataflow.Graph, timeScale, dataScale float64) *dataflow.Graph
 // then executed with values perturbed uniformly within the given error
 // percentage; the table reports the mean absolute deviation of realized
 // time, money and fragmentation from the plan.
+//
+// Every (error %, trial) Monte-Carlo replication is an independent job on
+// the bounded experiment pool: it builds its own workload generator
+// (seeded per trial, so a trial means the same flow at every error level
+// and different trials are distinct samples), draws perturbations from a
+// per-cell seeded rng, and records sim metrics into an isolated registry,
+// so replications are order-independent and the table is deterministic
+// for a given (seed, trials) at any parallelism.
 func Fig6(seed int64, trials int) *Table {
+	errPcts := []float64{0, 10, 20, 40, 60, 80, 100}
+	opts := schedOptions()
+	// The file database is immutable once built, so the cells share it;
+	// each cell still gets its own generator (private rng state).
 	db, err := workload.NewFileDB(seed)
 	if err != nil {
 		panic(err)
 	}
-	gen := workload.NewGenerator(db, seed+1)
-	opts := schedOptions()
-	rng := rand.New(rand.NewSource(seed + 2))
+	type fig6Cell struct{ dT, dM, dF float64 }
+	cells := make([]fig6Cell, len(errPcts)*trials)
+	runJobs(len(cells), func(i int) {
+		row, trial := i/trials, i%trials
+		gen := workload.NewGenerator(db, seed+1+int64(trial))
+		flow := gen.Flow(workload.Cybershake, trial, 0)
+		s := sched.Fastest(sched.NewSkyline(opts).Schedule(flow.Graph))
+		if s == nil {
+			return
+		}
+		e := errPcts[row] / 100
+		rng := rand.New(rand.NewSource(seed + 2 + int64(i)))
+		cfg := sim.Config{
+			Pricing: opts.Pricing,
+			Spec:    opts.Spec,
+			Metrics: telemetry.NewRegistry(),
+			Actual: func(op *dataflow.Operator) float64 {
+				return op.Time * (1 + (rng.Float64()*2-1)*e)
+			},
+		}
+		run := sim.Execute(s, cfg)
+		cells[i] = fig6Cell{
+			dT: pctDiff(run.Makespan, s.Makespan()),
+			dM: pctDiff(run.MoneyQuanta, s.MoneyQuanta()),
+			dF: pctDiff(run.Fragmentation, s.Fragmentation()),
+		}
+	})
 
 	t := &Table{
 		Title:  "Fig 6: Offline scheduler sensitivity to estimation errors",
 		Header: []string{"Error %", "Time diff %", "Money diff %", "Fragmentation diff %"},
 	}
-	for _, errPct := range []float64{0, 10, 20, 40, 60, 80, 100} {
+	for row, errPct := range errPcts {
 		var dT, dM, dF float64
 		for trial := 0; trial < trials; trial++ {
-			flow := gen.Flow(workload.Cybershake, trial, 0)
-			s := sched.Fastest(sched.NewSkyline(opts).Schedule(flow.Graph))
-			if s == nil {
-				continue
-			}
-			e := errPct / 100
-			cfg := sim.Config{
-				Pricing: opts.Pricing,
-				Spec:    opts.Spec,
-				Actual: func(op *dataflow.Operator) float64 {
-					return op.Time * (1 + (rng.Float64()*2-1)*e)
-				},
-			}
-			run := sim.Execute(s, cfg)
-			dT += pctDiff(run.Makespan, s.Makespan())
-			dM += pctDiff(run.MoneyQuanta, s.MoneyQuanta())
-			dF += pctDiff(run.Fragmentation, s.Fragmentation())
+			c := cells[row*trials+trial]
+			dT += c.dT
+			dM += c.dM
+			dF += c.dF
 		}
 		n := float64(trials)
 		t.AddRow(errPct, dT/n, dM/n, dF/n)

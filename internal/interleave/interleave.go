@@ -29,10 +29,13 @@ type Run struct {
 func (r Run) Size() float64 { return r.End - r.Start }
 
 // IdleRuns merges a schedule's per-quantum idle slots into contiguous runs,
-// sorted by container then start.
+// sorted by container then start. The slot count bounds the run count
+// (merging only shrinks it), so the result is allocated once; IdleSlots
+// itself reuses the schedule's memoized per-container lease ends and its
+// previous result size, keeping the repeated interleaver calls cheap.
 func IdleRuns(s *sched.Schedule) []Run {
 	slots := s.IdleSlots()
-	var runs []Run
+	runs := make([]Run, 0, len(slots))
 	for _, sl := range slots {
 		if n := len(runs); n > 0 &&
 			runs[n-1].Container == sl.Container &&

@@ -123,28 +123,36 @@ func (b *bnb) relaxedBound(from int, remaining float64) float64 {
 	return bound
 }
 
+// branch walks the take/skip tree. The skip child is a tail call, so it is
+// expressed as loop continuation: recursion depth is bounded by the number
+// of *taken* items rather than the item count, which matters on the
+// equal-density inputs where the budget (not pruning) ends the search. The
+// node order, budget accounting, and incumbent updates are exactly those of
+// the straightforward doubly-recursive form.
 func (b *bnb) branch(i int, gain, used float64, set []bool) {
-	if b.budget <= 0 {
-		return
+	for {
+		if b.budget <= 0 {
+			return
+		}
+		b.budget--
+		if gain > b.best {
+			b.best = gain
+			b.bestSet = append(b.bestSet[:0], set...)
+		}
+		if i >= len(b.items) {
+			return
+		}
+		if gain+b.relaxedBound(i, b.capacity-used) <= b.best+1e-12 {
+			return // prune: even the fractional optimum cannot beat the incumbent
+		}
+		it := b.items[i]
+		if used+it.Size <= b.capacity+1e-12 {
+			set[i] = true
+			b.branch(i+1, gain+it.Gain, used+it.Size, set)
+			set[i] = false
+		}
+		i++
 	}
-	b.budget--
-	if gain > b.best {
-		b.best = gain
-		b.bestSet = append(b.bestSet[:0], set...)
-	}
-	if i >= len(b.items) {
-		return
-	}
-	if gain+b.relaxedBound(i, b.capacity-used) <= b.best+1e-12 {
-		return // prune: even the fractional optimum cannot beat the incumbent
-	}
-	it := b.items[i]
-	if used+it.Size <= b.capacity+1e-12 {
-		set[i] = true
-		b.branch(i+1, gain+it.Gain, used+it.Size, set)
-		set[i] = false
-	}
-	b.branch(i+1, gain, used, set)
 }
 
 // Assignment maps each slot (by position) to the IDs of the items packed

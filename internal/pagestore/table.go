@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"idxflow/internal/bptree"
 	"idxflow/internal/tpch"
@@ -191,19 +190,23 @@ func (t *Table) IOStats() (reads, writes int64) { return t.file.Reads, t.file.Wr
 func (t *Table) Close() error { return t.file.Close() }
 
 // BuildIndex bulk-loads a B+Tree over key(r) -> packed RID by scanning the
-// table once.
+// table once. The key/RID columns are collected into exactly-sized
+// parallel slices (the row count is known up front), skipping the []Pair
+// materialization.
 func (t *Table) BuildIndex(key func(r tpch.Row) int64) (*bptree.Tree, error) {
-	var pairs []bptree.Pair
+	keys := make([]int64, 0, t.Rows())
+	vals := make([]int64, 0, t.Rows())
 	err := t.Scan(func(rid RID, r tpch.Row) bool {
-		pairs = append(pairs, bptree.Pair{Key: key(r), Val: rid.Pack()})
+		keys = append(keys, key(r))
+		vals = append(vals, rid.Pack())
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Stable sort by key; Scan order breaks ties.
-	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
-	return bptree.BulkLoad(bptree.DefaultOrder, pairs)
+	bptree.SortByKey(keys, vals)
+	return bptree.BulkLoadSorted(bptree.DefaultOrder, keys, vals)
 }
 
 // Cursor iterates a table's rows in storage order without callbacks, for

@@ -1,0 +1,51 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into a command without each main duplicating the pprof plumbing.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns the
+// stop function to defer in main: it finishes the CPU profile and, when
+// memPath is non-empty, writes an allocation (heap) profile. A profiling
+// failure is reported on stderr but never aborts the run.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			f.Close()
+		} else {
+			cpuFile = f
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		// Flush pending frees so the profile reflects live data accurately.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
+}

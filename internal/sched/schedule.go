@@ -650,22 +650,57 @@ func (s *Schedule) Fragmentation() float64 {
 // schedules with equal time and money the one with the most sequential idle
 // compute time is preferred, because index-build operators fit there.
 func (s *Schedule) MaxSequentialIdle() float64 {
-	slots := s.IdleSlots()
-	var best, run float64
-	var prev *Slot
-	for i := range slots {
-		sl := slots[i]
-		if prev != nil && prev.Container == sl.Container && math.Abs(prev.End-sl.Start) < 1e-9 {
-			run += sl.Size()
-		} else {
-			run = sl.Size()
+	// Walks the same quantum-split idle pieces IdleSlots materializes —
+	// including the ≤1e-9 sliver drop and the |prev.End−start|<1e-9 run
+	// merge — but folds them into the running maximum without allocating
+	// the slice. The skyline scheduler calls this once per candidate, so
+	// it is on the Fig6/Fig12 hot path.
+	q := s.Pricing.QuantumSeconds
+	var best float64
+	for c := range s.conts {
+		if len(s.conts[c]) == 0 {
+			continue
 		}
-		if run > best {
-			best = run
+		leaseEnd := float64(s.leaseEndQuanta(c)) * q
+		run, prevEnd := 0.0, math.Inf(-1)
+		cursor := 0.0
+		for _, id := range s.conts[c] {
+			a := s.assign[id]
+			if a.Start > cursor {
+				run, prevEnd, best = idleRunFold(q, cursor, a.Start, run, prevEnd, best)
+			}
+			if a.End > cursor {
+				cursor = a.End
+			}
 		}
-		prev = &slots[i]
+		if cursor < leaseEnd {
+			_, _, best = idleRunFold(q, cursor, leaseEnd, run, prevEnd, best)
+		}
 	}
 	return best
+}
+
+// idleRunFold splits the idle gap [from, to) at quantum boundaries exactly
+// like appendIdle and feeds each surviving piece into the sequential-idle
+// run merge, returning the updated (run, prevEnd, best) triple.
+func idleRunFold(q, from, to, run, prevEnd, best float64) (float64, float64, float64) {
+	for from < to-1e-9 {
+		qi := int(from / q)
+		qEnd := math.Min(float64(qi+1)*q, to)
+		if qEnd-from > 1e-9 {
+			if math.Abs(prevEnd-from) < 1e-9 {
+				run += qEnd - from
+			} else {
+				run = qEnd - from
+			}
+			if run > best {
+				best = run
+			}
+			prevEnd = qEnd
+		}
+		from = qEnd
+	}
+	return run, prevEnd, best
 }
 
 // Validate checks that assignments respect dependency and transfer
@@ -709,18 +744,35 @@ func (s *Schedule) Validate() error {
 
 // Assignments returns all assignments sorted by container then start.
 func (s *Schedule) Assignments() []Assignment {
-	out := make([]Assignment, 0, len(s.assign))
+	return s.AssignmentsAppend(nil)
+}
+
+// AssignmentsAppend fills buf (reusing its capacity; buf may be nil) with
+// all assignments sorted by container, then start, then op, and returns
+// the resulting slice. The executor replays thousands of schedules per
+// experiment and reuses one buffer across calls instead of allocating.
+func (s *Schedule) AssignmentsAppend(buf []Assignment) []Assignment {
+	buf = buf[:0]
 	for _, a := range s.assign {
-		out = append(out, a)
+		buf = append(buf, a)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Container != out[j].Container {
-			return out[i].Container < out[j].Container
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].Container != buf[j].Container {
+			return buf[i].Container < buf[j].Container
 		}
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+		if buf[i].Start != buf[j].Start {
+			return buf[i].Start < buf[j].Start
 		}
-		return out[i].Op < out[j].Op
+		return buf[i].Op < buf[j].Op
 	})
-	return out
+	return buf
+}
+
+// ContainerOps returns the number of operators currently placed on
+// container c (zero for out-of-range indices).
+func (s *Schedule) ContainerOps(c int) int {
+	if c < 0 || c >= len(s.conts) {
+		return 0
+	}
+	return len(s.conts[c])
 }

@@ -154,17 +154,28 @@ func (c *candidate) maxSeqIdle() float64 {
 	return v
 }
 
+// byPoint stable-sorts candidates by (time, money) without the per-call
+// closure and reflection swapper of sort.SliceStable.
+type byPoint []candidate
+
+func (c byPoint) Len() int      { return len(c) }
+func (c byPoint) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c byPoint) Less(i, j int) bool {
+	if c[i].p.time != c[j].p.time {
+		return c[i].p.time < c[j].p.time
+	}
+	return c[i].p.money < c[j].p.money
+}
+
 // pareto filters candidates down to the non-dominated frontier. Among
 // candidates with equal objectives one survivor is kept, chosen by prefer
-// (return true if a should beat b).
+// (return true if a should beat b). The input slice is sorted and filtered
+// in place: the returned frontier aliases cands' backing array.
 func pareto(cands []candidate, prefer func(a, b *candidate) bool) []candidate {
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].p.time != cands[j].p.time {
-			return cands[i].p.time < cands[j].p.time
-		}
-		return cands[i].p.money < cands[j].p.money
-	})
-	var out []candidate
+	sort.Stable(byPoint(cands))
+	// Survivors arrive in sorted order, so position len(out) never passes
+	// the read cursor i and the filter can compact into cands itself.
+	out := cands[:0]
 	bestMoney := math.Inf(1)
 	for i := 0; i < len(cands); i++ {
 		c := cands[i]
@@ -381,7 +392,7 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 				}
 				scratch := getSchedule()
 				scratch.CopyFrom(src)
-				var local []candidate
+				local := make([]candidate, 0, len(places))
 				for _, a := range places {
 					mv := move{op: st.id, cont: a.Container, start: a.Start, place: true}
 					if _, tok, err := scratch.PlaceAtSpeculative(mv.op, mv.cont, mv.start, -1); err == nil {
@@ -393,7 +404,12 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 				putSchedule(scratch)
 				results[i] = local
 			})
-			cands := append([]candidate(nil), sky...)
+			total := len(sky)
+			for i := range results {
+				total += len(results[i])
+			}
+			cands := make([]candidate, 0, total)
+			cands = append(cands, sky...)
 			for i := range results {
 				cands = append(cands, results[i]...)
 			}
@@ -414,7 +430,11 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 			}
 			scratch := getSchedule()
 			scratch.CopyFrom(src)
-			var local []candidate
+			hint := limit
+			if n := len(sk.Opts.Types); n > 1 {
+				hint += n - 1
+			}
+			local := make([]candidate, 0, hint)
 			for cont := 0; cont < limit; cont++ {
 				nTypes := 1
 				if cont >= used && len(sk.Opts.Types) > 1 {
@@ -435,7 +455,11 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 			putSchedule(scratch)
 			results[i] = local
 		})
-		var cands []candidate
+		total := 0
+		for i := range results {
+			total += len(results[i])
+		}
+		cands := make([]candidate, 0, total)
 		for i := range results {
 			cands = append(cands, results[i]...)
 		}

@@ -13,11 +13,21 @@
 // capped exponential backoff, and stragglers stretch realized runtimes.
 // Fault handling is deterministic — the same plan and schedule always
 // yield the identical Result.
+//
+// The executor is a discrete-event core built for replay throughput: the
+// online tuning loop and the experiments issue thousands of Execute calls
+// per run, so the ready set is an indexed min-heap over (planned order,
+// topological rank) fed by per-operator unmet-predecessor counts, fault
+// plans are pre-resolved into per-container time-sorted timelines advanced
+// by binary search, and all per-replay working state lives in a pooled
+// scratch arena so steady-state replay allocates little beyond the Result
+// it returns.
 package sim
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
@@ -80,7 +90,27 @@ type instruments struct {
 
 // PreregisterMetrics creates the executor's metric families in reg so
 // they appear in a /metrics scrape before the first execution.
-func PreregisterMetrics(reg *telemetry.Registry) { newInstruments(reg) }
+func PreregisterMetrics(reg *telemetry.Registry) { getInstruments(reg) }
+
+// instrumentsKey memoizes the executor's handle bundle per registry.
+type instrumentsKey struct{}
+
+// nilInstruments backs executions without a registry: every handle is a
+// nil-receiver no-op, so the hot path needs no nil checks.
+var nilInstruments = newInstruments(nil)
+
+// getInstruments resolves the executor's metric handles once per registry
+// (telemetry.Registry.Memo), instead of re-running ten family lookups on
+// every Execute call.
+func getInstruments(reg *telemetry.Registry) *instruments {
+	if reg == nil {
+		return &nilInstruments
+	}
+	return reg.Memo(instrumentsKey{}, func() any {
+		ins := newInstruments(reg)
+		return &ins
+	}).(*instruments)
+}
 
 func newInstruments(reg *telemetry.Registry) instruments {
 	return instruments{
@@ -158,6 +188,42 @@ type Result struct {
 	WastedQuanta float64
 }
 
+// slowTimeline is one container's straggler events, At-ascending, with a
+// cursor over the already-active prefix and the running compound slowdown
+// of that prefix. Query times are non-decreasing within each execution
+// pass, so advancing the cursor by binary search replaces the seed's full
+// per-call rescan; the product is folded in timeline order, so it is the
+// same float expression the rescan computed.
+type slowTimeline struct {
+	events []fault.Event
+	cur    int
+	prod   float64
+}
+
+// advance activates every event due by t, folding it into the running
+// product and reporting it to inject (first-activation only — injection
+// counting dedups by Seq anyway).
+func (tl *slowTimeline) advance(t float64, inject func(fault.Event)) {
+	if tl.cur >= len(tl.events) || tl.events[tl.cur].At > t+timeEps {
+		return
+	}
+	hi := tl.cur + sort.Search(len(tl.events)-tl.cur, func(i int) bool {
+		return tl.events[tl.cur+i].At > t+timeEps
+	})
+	for ; tl.cur < hi; tl.cur++ {
+		e := tl.events[tl.cur]
+		tl.prod *= e.SlowFactor
+		inject(e)
+	}
+}
+
+// storageTimeline is one container's transient storage errors,
+// At-ascending, with a cursor over the prefix already due.
+type storageTimeline struct {
+	events []fault.Event
+	cur    int
+}
+
 // faultState indexes a resolved fault plan for one execution.
 type faultState struct {
 	// failAt is the effective failure time per container (earliest crash
@@ -166,16 +232,15 @@ type faultState struct {
 	failAt  map[int]float64
 	noStart map[int]float64
 	killEv  map[int]fault.Event
-	// slow holds straggler events per container, storage the transient
-	// storage errors, both ordered by time.
-	slow    map[int][]fault.Event
-	storage map[int][]fault.Event
+	// slow holds straggler timelines per container, storage the transient
+	// storage errors, both time-sorted and cursor-advanced.
+	slow    map[int]*slowTimeline
+	storage map[int]*storageTimeline
 	// consumedStorage marks storage events (by Seq) already applied.
 	consumedStorage map[int]bool
-	// seen marks event Seqs already counted toward a metric, so an event
-	// affecting many operators is injected once.
-	seenInjected  map[int]bool
-	seenRecovered map[int]bool
+	// seenInjected marks event Seqs already counted toward the injection
+	// metric, so an event affecting many operators is injected once.
+	seenInjected map[int]bool
 	// active lists containers holding at least one planned operator,
 	// ascending — the resolution domain for fault.AnyContainer.
 	active []int
@@ -189,18 +254,15 @@ func resolveFaults(events []fault.Event, s *sched.Schedule) *faultState {
 	fs := &faultState{
 		failAt: make(map[int]float64), noStart: make(map[int]float64),
 		killEv: make(map[int]fault.Event),
-		slow:   make(map[int][]fault.Event), storage: make(map[int][]fault.Event),
+		slow:   make(map[int]*slowTimeline), storage: make(map[int]*storageTimeline),
 		consumedStorage: make(map[int]bool),
-		seenInjected:    make(map[int]bool), seenRecovered: make(map[int]bool),
+		seenInjected:    make(map[int]bool),
 	}
-	seen := make(map[int]bool)
-	for _, a := range s.Assignments() {
-		if !seen[a.Container] {
-			seen[a.Container] = true
-			fs.active = append(fs.active, a.Container)
+	for c := 0; c < s.NumSlots(); c++ {
+		if s.ContainerOps(c) > 0 {
+			fs.active = append(fs.active, c)
 		}
 	}
-	sort.Ints(fs.active)
 	if len(fs.active) == 0 {
 		return fs
 	}
@@ -223,12 +285,32 @@ func resolveFaults(events []fault.Event, s *sched.Schedule) *faultState {
 		case e.Kind == fault.StorageError:
 			ev := e
 			ev.Container = c
-			fs.storage[c] = append(fs.storage[c], ev)
+			tl := fs.storage[c]
+			if tl == nil {
+				tl = &storageTimeline{}
+				fs.storage[c] = tl
+			}
+			tl.events = append(tl.events, ev)
 		case e.Kind == fault.Straggler:
 			ev := e
 			ev.Container = c
-			fs.slow[c] = append(fs.slow[c], ev)
+			tl := fs.slow[c]
+			if tl == nil {
+				tl = &slowTimeline{prod: 1}
+				fs.slow[c] = tl
+			}
+			tl.events = append(tl.events, ev)
 		}
+	}
+	// Plans are generated At-sorted, making the stable sort the identity;
+	// it only reorders hand-built unsorted configs.
+	for _, tl := range fs.slow {
+		ev := tl.events
+		sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	}
+	for _, tl := range fs.storage {
+		ev := tl.events
+		sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
 	}
 	return fs
 }
@@ -243,18 +325,29 @@ func (fs *faultState) deadAt(c int, t float64) bool {
 }
 
 // slowFactor returns the compound straggler slowdown active on c at t.
-func (fs *faultState) slowFactor(c int, t float64, mark func(fault.Event)) float64 {
+// Every active event counts as an absorbed effect on every call (the
+// operator rode it out), reported in bulk through recovered.
+func (fs *faultState) slowFactor(c int, t float64, inject func(fault.Event), recovered func(int)) float64 {
 	if fs == nil {
 		return 1
 	}
-	f := 1.0
-	for _, e := range fs.slow[c] {
-		if e.At <= t+timeEps {
-			f *= e.SlowFactor
-			mark(e)
-		}
+	tl := fs.slow[c]
+	if tl == nil {
+		return 1
 	}
-	return f
+	tl.advance(t, inject)
+	if tl.cur > 0 {
+		recovered(tl.cur)
+	}
+	return tl.prod
+}
+
+// resetSlow rewinds c's straggler cursor; pass 2 restarts each
+// container's clock at zero, so its queries are non-decreasing again.
+func (fs *faultState) resetSlow(c int) {
+	if tl := fs.slow[c]; tl != nil {
+		tl.cur, tl.prod = 0, 1
+	}
 }
 
 // storageDelay consumes every unconsumed storage-error event on c due by
@@ -263,13 +356,22 @@ func (fs *faultState) storageDelay(c int, t float64, b cloud.Backoff, mark func(
 	if fs == nil {
 		return 0
 	}
+	tl := fs.storage[c]
+	if tl == nil || tl.cur >= len(tl.events) || tl.events[tl.cur].At > t+timeEps {
+		return 0
+	}
+	hi := tl.cur + sort.Search(len(tl.events)-tl.cur, func(i int) bool {
+		return tl.events[tl.cur+i].At > t+timeEps
+	})
 	var d float64
-	for _, e := range fs.storage[c] {
-		if e.At <= t+timeEps && !fs.consumedStorage[e.Seq] {
-			fs.consumedStorage[e.Seq] = true
-			d += b.TotalDelay(e.Retries, int64(e.Seq))
-			mark(e)
+	for ; tl.cur < hi; tl.cur++ {
+		e := tl.events[tl.cur]
+		if fs.consumedStorage[e.Seq] {
+			continue
 		}
+		fs.consumedStorage[e.Seq] = true
+		d += b.TotalDelay(e.Retries, int64(e.Seq))
+		mark(e)
 	}
 	return d
 }
@@ -285,6 +387,157 @@ type pendingFlow struct {
 	rank     int
 }
 
+// pfLess is the ready-heap order: strict (order, rank). The timeEps
+// tie-break the seed semantics require is applied at pop time by
+// heapPopCluster, not here.
+func pfLess(a, b pendingFlow) bool {
+	if a.order != b.order {
+		return a.order < b.order
+	}
+	return a.rank < b.rank
+}
+
+func heapPush(h []pendingFlow, p pendingFlow) []pendingFlow {
+	h = append(h, p)
+	i := len(h) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if !pfLess(h[i], h[par]) {
+			break
+		}
+		h[i], h[par] = h[par], h[i]
+		i = par
+	}
+	return h
+}
+
+// heapFix restores the heap property around index i after a removal
+// replaced h[i] with the former last element.
+func heapFix(h []pendingFlow, i int) {
+	for i > 0 {
+		par := (i - 1) / 2
+		if !pfLess(h[i], h[par]) {
+			break
+		}
+		h[i], h[par] = h[par], h[i]
+		i = par
+	}
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h) && pfLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && pfLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// heapPopCluster removes and returns the operator the seed selection
+// picks: the strict (order, rank) minimum opens an eps window, and the
+// smallest topological rank among operators with order within timeEps of
+// that minimum wins (ranks are unique per op, so the pick is
+// deterministic). The window members all sit on root paths of the heap,
+// so a pruned descent visits only the — almost always singleton —
+// cluster. stack is caller-owned scratch, returned for capacity reuse.
+func heapPopCluster(h []pendingFlow, stack []int) ([]pendingFlow, pendingFlow, []int) {
+	best := 0
+	if len(h) > 1 {
+		limit := h[0].order + timeEps
+		stack = stack[:0]
+		if h[1].order <= limit {
+			stack = append(stack, 1)
+		}
+		if len(h) > 2 && h[2].order <= limit {
+			stack = append(stack, 2)
+		}
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if h[i].rank < h[best].rank {
+				best = i
+			}
+			if l := 2*i + 1; l < len(h) && h[l].order <= limit {
+				stack = append(stack, l)
+			}
+			if r := 2*i + 2; r < len(h) && h[r].order <= limit {
+				stack = append(stack, r)
+			}
+		}
+	}
+	p := h[best]
+	last := len(h) - 1
+	h[best] = h[last]
+	h = h[:last]
+	if best < len(h) {
+		heapFix(h, best)
+	}
+	return h, p, stack
+}
+
+// Pass-1 operator states for the eligibility bookkeeping.
+const (
+	stNone    uint8 = iota // not a scheduled dataflow operator
+	stWaiting              // scheduled, has unmet scheduled predecessors
+	stQueued               // in the ready heap (or force-queued)
+	stDone                 // completed, result recorded
+)
+
+// flowPoint is the realized start of a resident dataflow op, by position
+// in the container's planned order (pass 2's preemption points).
+type flowPoint struct {
+	idx   int
+	start float64
+}
+
+// contGroup is one container's contiguous range in the sorted assignment
+// slice.
+type contGroup struct{ c, lo, hi int }
+
+// scratch is the per-replay working state of Execute, recycled through a
+// sync.Pool across the thousands of replays the experiments and the
+// tuning loop issue. Per-operator slices are indexed by the dense OpID,
+// per-container slices by container index (including recovery-opened
+// fresh containers). Nothing in scratch escapes into the returned Result.
+type scratch struct {
+	assigns   []sched.Assignment
+	groups    []contGroup
+	kahn      []int32
+	fifo      []dataflow.OpID
+	rank      []int32
+	indeg     []int32
+	state     []uint8
+	waitCont  []int32
+	waitOrder []float64
+	heap      []pendingFlow
+	stack     []int
+	contClock []float64
+	cands     []int
+	leaseEnd  []float64
+	buildKill []float64
+	leased    []bool
+	points    []flowPoint
+	ids       []dataflow.OpID
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// resized returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // Execute runs the planned schedule and returns the realized execution.
 func Execute(s *sched.Schedule, cfg Config) Result {
 	if cfg.Tracer == nil {
@@ -293,10 +546,48 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	}
 	span := cfg.Tracer.StartSpan("sim.execute").SetAttr("ops", s.Assigned())
 	defer span.End()
-	ins := newInstruments(cfg.Metrics)
+	ins := getInstruments(cfg.Metrics)
 	actual := cfg.Actual
 	if actual == nil {
 		actual = func(op *dataflow.Operator) float64 { return op.Time }
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	// Label-value handles resolved lazily once per Execute (not cached on
+	// the shared instruments bundle: concurrent replays would race, and
+	// eager resolution would create series no replay touched).
+	var opRunByKind [int(dataflow.KindBuildIndex) + 1]*telemetry.Histogram
+	observeRun := func(k dataflow.Kind, v float64) {
+		if k >= 0 && int(k) < len(opRunByKind) {
+			h := opRunByKind[k]
+			if h == nil {
+				h = ins.opRun.With(k.String())
+				opRunByKind[k] = h
+			}
+			h.Observe(v)
+			return
+		}
+		ins.opRun.With(k.String()).Observe(v)
+	}
+	var injByKind, recByKind [int(fault.Straggler) + 1]*telemetry.Counter
+	injCounter := func(k fault.Kind) *telemetry.Counter {
+		if k >= 0 && int(k) < len(injByKind) {
+			if injByKind[k] == nil {
+				injByKind[k] = ins.faultsInjected.With(k.String())
+			}
+			return injByKind[k]
+		}
+		return ins.faultsInjected.With(k.String())
+	}
+	recCounter := func(k fault.Kind) *telemetry.Counter {
+		if k >= 0 && int(k) < len(recByKind) {
+			if recByKind[k] == nil {
+				recByKind[k] = ins.recoveries.With(k.String())
+			}
+			return recByKind[k]
+		}
+		return ins.recoveries.With(k.String())
 	}
 
 	res := Result{Ops: make(map[dataflow.OpID]OpResult, s.Assigned())}
@@ -308,17 +599,20 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		if !fs.seenInjected[e.Seq] {
 			fs.seenInjected[e.Seq] = true
 			res.FaultsInjected++
-			ins.faultsInjected.With(e.Kind.String()).Inc()
+			injCounter(e.Kind).Inc()
 		}
 	}
 	markRecovered := func(e fault.Event) {
 		// Unlike injection, recoveries count per absorbed effect: an event
 		// whose failure forces three operators to move is three recoveries.
-		fs.seenRecovered[e.Seq] = true
 		res.FaultsRecovered++
-		ins.recoveries.With(e.Kind.String()).Inc()
+		recCounter(e.Kind).Inc()
 	}
 	markBoth := func(e fault.Event) { markInjected(e); markRecovered(e) }
+	recoveredSlow := func(n int) {
+		res.FaultsRecovered += n
+		recCounter(fault.Straggler).Add(float64(n))
+	}
 	addWasted := func(seconds float64) {
 		if seconds > 0 {
 			res.WastedQuanta += seconds / cfg.Pricing.QuantumSeconds
@@ -369,27 +663,44 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	}
 	g := s.Graph
 
-	// Group assignments per container in planned order, and collect the
-	// dataflow ops for pass 1.
-	perCont := make(map[int][]sched.Assignment)
-	var flowOps []sched.Assignment
-	for _, a := range s.Assignments() {
-		perCont[a.Container] = append(perCont[a.Container], a)
-		if !g.Op(a.Op).Optional {
-			flowOps = append(flowOps, a)
+	// One sorted assignment pass: contiguous ranges of the
+	// (container, start, op)-sorted slice are the per-container planned
+	// orders the seed kept in a map of slices.
+	sc.assigns = s.AssignmentsAppend(sc.assigns)
+	assigns := sc.assigns
+	sc.groups = sc.groups[:0]
+	for lo := 0; lo < len(assigns); {
+		c := assigns[lo].Container
+		hi := lo + 1
+		for hi < len(assigns) && assigns[hi].Container == c {
+			hi++
+		}
+		sc.groups = append(sc.groups, contGroup{c: c, lo: lo, hi: hi})
+		lo = hi
+	}
+
+	// Topological ranks break planned-start ties between dependent
+	// zero-length ops and order re-placements. FIFO Kahn over the dense
+	// op IDs, identical to Graph.TopoSort but on scratch storage.
+	n := g.Len()
+	sc.kahn = resized(sc.kahn, n)
+	sc.rank = resized(sc.rank, n)
+	sc.fifo = sc.fifo[:0]
+	for id := 0; id < n; id++ {
+		sc.kahn[id] = int32(len(g.In(dataflow.OpID(id))))
+		if sc.kahn[id] == 0 {
+			sc.fifo = append(sc.fifo, dataflow.OpID(id))
 		}
 	}
-	conts := make([]int, 0, len(perCont))
-	for c := range perCont {
-		conts = append(conts, c)
-	}
-	sort.Ints(conts)
-	// Topological ranks break planned-start ties between dependent
-	// zero-length ops and order re-placements.
-	topo, _ := g.TopoSort()
-	rank := make(map[dataflow.OpID]int, len(topo))
-	for i, id := range topo {
-		rank[id] = i
+	for i := 0; i < len(sc.fifo); i++ {
+		id := sc.fifo[i]
+		sc.rank[id] = int32(i)
+		for _, e := range g.Out(id) {
+			sc.kahn[e.To]--
+			if sc.kahn[e.To] == 0 {
+				sc.fifo = append(sc.fifo, e.To)
+			}
+		}
 	}
 
 	caches := cfg.Caches
@@ -404,23 +715,69 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	// killed and re-queued onto survivors; survivors are chosen
 	// deterministically (least-loaded, lowest index), opening a fresh
 	// container only when every candidate is dead.
-	pending := make([]pendingFlow, 0, len(flowOps))
-	scheduled := make(map[dataflow.OpID]bool, len(flowOps))
-	for _, a := range flowOps {
-		pending = append(pending, pendingFlow{op: a.Op, cont: a.Container, order: a.Start, rank: rank[a.Op]})
-		scheduled[a.Op] = true
+	//
+	// The ready heap holds exactly the eligible operators — those whose
+	// scheduled predecessors have all completed — fed by per-op unmet
+	// predecessor counts, so each op is pushed once when its last
+	// predecessor finishes instead of rescanning the whole pending set
+	// per step.
+	sc.state = resized(sc.state, n)
+	sc.indeg = resized(sc.indeg, n)
+	sc.waitCont = resized(sc.waitCont, n)
+	sc.waitOrder = resized(sc.waitOrder, n)
+	remaining := 0
+	for _, a := range assigns {
+		if g.Op(a.Op).Optional {
+			continue
+		}
+		sc.state[a.Op] = stWaiting
+		sc.waitCont[a.Op] = int32(a.Container)
+		sc.waitOrder[a.Op] = a.Start
+		remaining++
 	}
-	contClock := make(map[int]float64)
+	for id := 0; id < n; id++ {
+		if sc.state[id] != stWaiting {
+			continue
+		}
+		for _, e := range g.In(dataflow.OpID(id)) {
+			if sc.state[e.From] == stWaiting {
+				sc.indeg[id]++
+			}
+		}
+	}
+	sc.heap = sc.heap[:0]
+	for _, a := range assigns {
+		id := a.Op
+		if sc.state[id] == stWaiting && sc.indeg[id] == 0 {
+			sc.state[id] = stQueued
+			sc.heap = heapPush(sc.heap, pendingFlow{
+				op: id, cont: int(sc.waitCont[id]), order: sc.waitOrder[id], rank: int(sc.rank[id]),
+			})
+		}
+	}
+
+	nC := s.NumSlots()
+	sc.contClock = resized(sc.contClock, nC)
+	nextFresh := nC
+	sc.cands = sc.cands[:0]
+	for _, gr := range sc.groups {
+		sc.cands = append(sc.cands, gr.c)
+	}
 	// arrivals records realized intervals of re-placed ops per container,
-	// so pass 2 can preempt builds that planned for that idle time.
+	// so pass 2 can preempt builds that planned for that idle time. Only
+	// faulty replays populate it.
 	type interval struct{ start, end float64 }
-	arrivals := make(map[int][]interval)
-	nextFresh := s.NumSlots()
-	candidates := append([]int(nil), conts...)
+	var arrivals map[int][]interval
+	addArrival := func(c int, iv interval) {
+		if arrivals == nil {
+			arrivals = make(map[int][]interval)
+		}
+		arrivals[c] = append(arrivals[c], iv)
+	}
 
 	chooseSurvivor := func(exclude int, t float64) int {
 		best, bestClock := -1, math.Inf(1)
-		for _, c := range candidates {
+		for _, c := range sc.cands {
 			if c == exclude || (fs != nil && fs.deadAt(c, t)) {
 				continue
 			}
@@ -429,43 +786,39 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 					continue // inside a revocation notice window
 				}
 			}
-			if contClock[c] < bestClock {
-				best, bestClock = c, contClock[c]
+			if sc.contClock[c] < bestClock {
+				best, bestClock = c, sc.contClock[c]
 			}
 		}
 		if best < 0 {
 			best = nextFresh
 			nextFresh++
-			candidates = append(candidates, best)
+			sc.cands = append(sc.cands, best)
+			sc.contClock = append(sc.contClock, 0)
 		}
 		return best
 	}
 
-	for len(pending) > 0 {
-		// Select the eligible operator with the earliest (order, rank):
-		// eligible means every scheduled predecessor has already run.
-		pick := -1
-		for i, p := range pending {
-			ok := true
-			for _, e := range g.In(p.op) {
-				if _, done := res.Ops[e.From]; scheduled[e.From] && !done {
-					ok = false
+	for remaining > 0 {
+		if len(sc.heap) == 0 {
+			// Unreachable for DAGs (Connect rejects cycles); force the
+			// lowest-ID unfinished op so the loop cannot livelock.
+			for id := 0; id < n; id++ {
+				if sc.state[id] == stWaiting {
+					sc.state[id] = stQueued
+					sc.heap = heapPush(sc.heap, pendingFlow{
+						op: dataflow.OpID(id), cont: int(sc.waitCont[id]),
+						order: sc.waitOrder[id], rank: int(sc.rank[id]),
+					})
 					break
 				}
 			}
-			if !ok {
-				continue
-			}
-			if pick < 0 || p.order < pending[pick].order-timeEps ||
-				(math.Abs(p.order-pending[pick].order) <= timeEps && p.rank < pending[pick].rank) {
-				pick = i
+			if len(sc.heap) == 0 {
+				break
 			}
 		}
-		if pick < 0 {
-			pick = 0 // unreachable for DAGs; avoid livelock regardless
-		}
-		p := pending[pick]
-		pending = append(pending[:pick], pending[pick+1:]...)
+		var p pendingFlow
+		sc.heap, p, sc.stack = heapPopCluster(sc.heap, sc.stack)
 
 		op := g.Op(p.op)
 		c := p.cont
@@ -484,7 +837,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 				ready = t
 			}
 		}
-		start := math.Max(math.Max(contClock[c], ready), p.minStart)
+		start := math.Max(math.Max(sc.contClock[c], ready), p.minStart)
 		// A failed (or notice-window) container accepts no new operators:
 		// re-place without losing work.
 		if fs != nil {
@@ -492,7 +845,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 				markBoth(fs.killEv[c])
 				res.ReplacedOps++
 				nc := chooseSurvivor(c, start)
-				pending = append(pending, pendingFlow{
+				sc.heap = heapPush(sc.heap, pendingFlow{
 					op: p.op, cont: nc, order: start, minStart: start, rank: p.rank,
 				})
 				continue
@@ -501,7 +854,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		ins.opWait.Observe(start - ready)
 		dur := actual(op) / ctype.SpeedFactor
 		if fs != nil {
-			dur *= fs.slowFactor(c, start, markBoth)
+			dur *= fs.slowFactor(c, start, markInjected, recoveredSlow)
 			dur += fs.storageDelay(c, start, cfg.Backoff, markBoth)
 		}
 		// Input reads: a cache miss transfers the partition from the
@@ -532,22 +885,36 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 				markBoth(fs.killEv[c])
 				addWasted(fa - start)
 				res.ReplacedOps++
-				contClock[c] = fa
+				sc.contClock[c] = fa
 				nc := chooseSurvivor(c, fa)
-				pending = append(pending, pendingFlow{
+				sc.heap = heapPush(sc.heap, pendingFlow{
 					op: p.op, cont: nc, order: fa, minStart: fa, rank: p.rank,
 				})
 				continue
 			}
 		}
-		ins.opRun.With(op.Kind.String()).Observe(dur)
+		observeRun(op.Kind, dur)
 		r := OpResult{Op: p.op, Container: c, Start: start, End: end, Completed: true}
 		if a, planned := s.Assignment(p.op); !planned || a.Container != c {
 			r.Replaced = true
-			arrivals[c] = append(arrivals[c], interval{start, end})
+			addArrival(c, interval{start, end})
 		}
 		res.Ops[p.op] = r
-		contClock[c] = end
+		sc.contClock[c] = end
+		sc.state[p.op] = stDone
+		remaining--
+		for _, e := range g.Out(p.op) {
+			if sc.state[e.To] != stWaiting {
+				continue
+			}
+			sc.indeg[e.To]--
+			if sc.indeg[e.To] == 0 {
+				sc.state[e.To] = stQueued
+				sc.heap = heapPush(sc.heap, pendingFlow{
+					op: e.To, cont: int(sc.waitCont[e.To]), order: sc.waitOrder[e.To], rank: int(sc.rank[e.To]),
+				})
+			}
+		}
 	}
 
 	// Realized lease per container: whole quanta covering the last
@@ -558,12 +925,14 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	// builds running long are still cut at that boundary. A failed
 	// container is charged through the quantum containing the failure;
 	// the unusable remainder of that lease is fault waste.
-	leaseEnd := make(map[int]float64)
-	buildKill := make(map[int]float64)
-	for _, c := range conts {
+	sc.leaseEnd = resized(sc.leaseEnd, nextFresh)
+	sc.buildKill = resized(sc.buildKill, nextFresh)
+	sc.leased = resized(sc.leased, nextFresh)
+	for _, gr := range sc.groups {
+		c := gr.c
 		var last float64
 		anyFlowOp := false
-		for _, a := range perCont[c] {
+		for _, a := range assigns[gr.lo:gr.hi] {
 			if !g.Op(a.Op).Optional {
 				anyFlowOp = true
 				if r := res.Ops[a.Op]; r.Container == c && r.End > last {
@@ -573,7 +942,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		}
 		if fs != nil && anyFlowOp {
 			// Killed partial runs occupy the container up to the failure.
-			if fa, dead := fs.failAt[c]; dead && contClock[c] == fa && fa > last {
+			if fa, dead := fs.failAt[c]; dead && sc.contClock[c] == fa && fa > last {
 				last = fa
 			}
 		}
@@ -583,14 +952,14 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			}
 		}
 		if !anyFlowOp && len(arrivals[c]) == 0 {
-			for _, a := range perCont[c] {
+			for _, a := range assigns[gr.lo:gr.hi] {
 				if a.End > last {
 					last = a.End
 				}
 			}
 		}
 		lease := float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
-		buildKill[c] = lease
+		sc.buildKill[c] = lease
 		if fs != nil {
 			if fa, dead := fs.failAt[c]; dead && fa < lease-timeEps {
 				markInjected(fs.killEv[c])
@@ -601,44 +970,49 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 				}
 				addWasted(charged - fa)
 				lease = charged
-				buildKill[c] = math.Min(fa, lease)
+				sc.buildKill[c] = math.Min(fa, lease)
 			}
 		}
-		leaseEnd[c] = lease
+		sc.leaseEnd[c] = lease
+		sc.leased[c] = true
 	}
-	for c := range arrivals {
-		if _, known := leaseEnd[c]; !known {
-			// A fresh container opened by recovery: leased like any other.
-			var last float64
-			for _, iv := range arrivals[c] {
-				if iv.end > last {
-					last = iv.end
-				}
-			}
-			leaseEnd[c] = float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
-			buildKill[c] = leaseEnd[c]
+	for c, ivs := range arrivals {
+		if sc.leased[c] {
+			continue
 		}
+		// A fresh container opened by recovery: leased like any other.
+		var last float64
+		for _, iv := range ivs {
+			if iv.end > last {
+				last = iv.end
+			}
+		}
+		sc.leaseEnd[c] = float64(cfg.Pricing.Quanta(last)) * cfg.Pricing.QuantumSeconds
+		sc.buildKill[c] = sc.leaseEnd[c]
+		sc.leased[c] = true
 	}
 
 	// Pass 2: build operators run in the realized gaps, in planned order,
 	// stopped by the next dataflow operator's realized start, a re-placed
 	// arrival, the container's failure, or the lease end.
-	for _, c := range conts {
-		as := perCont[c]
+	for _, gr := range sc.groups {
+		c := gr.c
+		as := assigns[gr.lo:gr.hi]
+		if fs != nil {
+			fs.resetSlow(c)
+		}
 		// Realized start of each resident dataflow op on this container,
 		// in planned order.
-		type flowPoint struct {
-			idx   int // index in as
-			start float64
-		}
-		var points []flowPoint
+		sc.points = sc.points[:0]
 		for i, a := range as {
 			if !g.Op(a.Op).Optional {
 				if r := res.Ops[a.Op]; r.Container == c {
-					points = append(points, flowPoint{idx: i, start: r.Start})
+					sc.points = append(sc.points, flowPoint{idx: i, start: r.Start})
 				}
 			}
 		}
+		points := sc.points
+		ctype := s.ContainerType(c)
 		clock := 0.0
 		pi := 0
 		for i, a := range as {
@@ -655,7 +1029,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			// Kill time: the next resident dataflow op's realized start,
 			// a re-placed arrival, the container failure, else the lease
 			// end.
-			kill := buildKill[c]
+			kill := sc.buildKill[c]
 			for j := pi; j < len(points); j++ {
 				if points[j].idx > i {
 					if points[j].start < kill {
@@ -679,9 +1053,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 					faultKill = true
 				}
 			}
-			dur := actual(op) / s.ContainerType(c).SpeedFactor
+			dur := actual(op) / ctype.SpeedFactor
 			if fs != nil {
-				dur *= fs.slowFactor(c, start, markBoth)
+				dur *= fs.slowFactor(c, start, markInjected, recoveredSlow)
 			}
 			end := start + dur
 			r := OpResult{Op: a.Op, Container: c, Start: start}
@@ -707,7 +1081,7 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			} else {
 				ins.buildsCompleted.Inc()
 			}
-			ins.opRun.With(op.Kind.String()).Observe(r.End - r.Start)
+			observeRun(op.Kind, r.End-r.Start)
 			res.Ops[a.Op] = r
 			clock = r.End
 		}
@@ -725,15 +1099,15 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 
 	// Aggregate metrics, iterating deterministically so a seeded faulty
 	// run reproduces byte-identical output.
-	ids := make([]dataflow.OpID, 0, len(res.Ops))
+	sc.ids = sc.ids[:0]
 	for id := range res.Ops {
-		ids = append(ids, id)
+		sc.ids = append(sc.ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(sc.ids, func(i, j int) bool { return sc.ids[i] < sc.ids[j] })
 	first, last := math.Inf(1), 0.0
 	anyFlow := false
 	var busy float64
-	for _, id := range ids {
+	for _, id := range sc.ids {
 		r := res.Ops[id]
 		busy += r.End - r.Start
 		if g.Op(id).Optional {
@@ -750,21 +1124,19 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	if anyFlow {
 		res.Makespan = last - first
 	}
-	leasedConts := make([]int, 0, len(leaseEnd))
-	for c := range leaseEnd {
-		leasedConts = append(leasedConts, c)
-	}
-	sort.Ints(leasedConts)
 	var leased float64
-	for _, c := range leasedConts {
-		leased += leaseEnd[c]
+	for c := 0; c < nextFresh; c++ {
+		if !sc.leased[c] {
+			continue
+		}
+		leased += sc.leaseEnd[c]
 		w := 1.0
 		if cfg.Pricing.VMPerQuantum > 0 {
 			if t := s.ContainerType(c); t.PricePerQuantum > 0 {
 				w = t.PricePerQuantum / cfg.Pricing.VMPerQuantum
 			}
 		}
-		res.MoneyQuanta += float64(cfg.Pricing.Quanta(leaseEnd[c])) * w
+		res.MoneyQuanta += float64(cfg.Pricing.Quanta(sc.leaseEnd[c])) * w
 	}
 	res.Fragmentation = leased - busy
 
