@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-short vet fmt-check ci bench bench-short bench-compare profile clean
+.PHONY: all build test race race-short vet fmt-check ci cover fuzz-short bench bench-short bench-compare profile clean
 
 all: build
 
@@ -18,6 +18,30 @@ race-short:
 
 vet:
 	$(GO) vet ./...
+
+# Run the test suite with a coverage profile and fail if total statement
+# coverage drops below the committed baseline (scripts/coverage_baseline.txt).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	baseline=$$(cat scripts/coverage_baseline.txt); \
+	echo "total coverage: $$total% (baseline $$baseline%)"; \
+	awk -v t="$$total" -v b="$$baseline" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $$baseline% baseline"; exit 1; }
+
+# Short fuzzing pass: each target explores new inputs for FUZZ_SECONDS on
+# top of the committed corpora under testdata/fuzz (which replay as plain
+# tests in every `go test` run). Go allows one -fuzz pattern per
+# invocation, so each target runs separately. See README "Testing &
+# verification" for the long-running variant.
+FUZZ_SECONDS ?= 5
+fuzz-short:
+	$(GO) test ./internal/bptree -run '^$$' -fuzz '^FuzzTreeAgainstMap$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/flowlang -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzExecute$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzSkyline$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzInterleave$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzGainWindow$$' -fuzztime $(FUZZ_SECONDS)s
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -390,6 +390,27 @@ func minKey(n *node) int64 {
 	return n.keys[0]
 }
 
+// Stats returns the total node count and the leaf count of the tree. Both
+// splits and bulk loading guarantee a minimum internal fanout of two, so a
+// valid tree satisfies the §3 geometric-series storage bound
+// nodes <= 2*leaves - 1 (the sum leaves * (1 + 1/2 + 1/4 + ...)) and
+// height <= 1 + ceil(log2(leaves)); the invariant auditor checks both.
+func (t *Tree) Stats() (nodes, leaves int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodes++
+		if n.leaf {
+			leaves++
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return nodes, leaves
+}
+
 // ApproxSizeBytes estimates the memory footprint: 16 bytes per entry plus
 // internal-node overhead.
 func (t *Tree) ApproxSizeBytes() int64 {

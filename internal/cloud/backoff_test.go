@@ -1,6 +1,9 @@
 package cloud
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestBackoffDelayBoundsAndGrowth(t *testing.T) {
 	b := DefaultBackoff()
@@ -53,5 +56,114 @@ func TestBackoffTotalDelay(t *testing.T) {
 	}
 	if b.TotalDelay(0, 1) != 0 {
 		t.Error("zero attempts should cost nothing")
+	}
+}
+
+// TestBackoffCapSaturation: once the exponential crosses the cap, every
+// later attempt draws from the same [cap/2, cap) band — the policy must
+// not keep growing, overflow, or collapse for very large attempt numbers.
+func TestBackoffCapSaturation(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		// firstCapped is the first attempt whose uncapped exponential
+		// reaches the cap.
+		firstCapped int
+	}{
+		{"default policy", Backoff{BaseSeconds: 1, CapSeconds: 30, Factor: 2}, 5},
+		{"tight cap", Backoff{BaseSeconds: 1, CapSeconds: 2, Factor: 2}, 1},
+		{"cap below base", Backoff{BaseSeconds: 8, CapSeconds: 4, Factor: 2}, 0},
+		{"slow growth", Backoff{BaseSeconds: 1, CapSeconds: 10, Factor: 1.5}, 6},
+		{"huge factor", Backoff{BaseSeconds: 0.5, CapSeconds: 30, Factor: 64}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, attempt := range []int{tc.firstCapped, tc.firstCapped + 1, tc.firstCapped + 10, 63, 200, 1 << 20} {
+				if attempt < tc.firstCapped {
+					continue
+				}
+				d := tc.b.Delay(attempt, 42)
+				if math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("attempt %d: non-finite delay %g", attempt, d)
+				}
+				if d < tc.b.CapSeconds/2 || d >= tc.b.CapSeconds {
+					t.Errorf("attempt %d: saturated delay %g outside [%g, %g)",
+						attempt, d, tc.b.CapSeconds/2, tc.b.CapSeconds)
+				}
+			}
+			// Saturation also bounds the total: n attempts never cost more
+			// than n caps.
+			if got, lim := tc.b.TotalDelay(50, 42), 50*tc.b.CapSeconds; got >= lim {
+				t.Errorf("TotalDelay(50) = %g, want < %g", got, lim)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterDeterminismAcrossSeeds: for a grid of (attempt, salt)
+// pairs the jittered delay is a pure function — recomputing gives the
+// identical float — while distinct salts decorrelate: across many salts
+// the same attempt must not produce a constant, and the empirical mean
+// stays near the 75%-of-full "equal jitter" center.
+func TestBackoffJitterDeterminismAcrossSeeds(t *testing.T) {
+	b := DefaultBackoff()
+	for attempt := 0; attempt <= 6; attempt++ {
+		full := math.Min(b.BaseSeconds*math.Pow(b.Factor, float64(attempt)), b.CapSeconds)
+		distinct := map[float64]bool{}
+		var sum float64
+		const salts = 512
+		for salt := int64(0); salt < salts; salt++ {
+			d1 := b.Delay(attempt, salt)
+			d2 := b.Delay(attempt, salt)
+			if d1 != d2 {
+				t.Fatalf("attempt %d salt %d: %g then %g — jitter not deterministic", attempt, salt, d1, d2)
+			}
+			distinct[d1] = true
+			sum += d1
+		}
+		if len(distinct) < salts/2 {
+			t.Errorf("attempt %d: only %d distinct delays across %d salts", attempt, len(distinct), salts)
+		}
+		mean := sum / salts
+		if mean < 0.70*full || mean > 0.80*full {
+			t.Errorf("attempt %d: mean delay %g not near the equal-jitter center %g", attempt, mean, 0.75*full)
+		}
+	}
+}
+
+// TestBackoffZeroAttemptEdge pins the edge semantics at and below zero:
+// attempt 0 is the base delay band, negative attempts clamp to it, and a
+// zero-attempt retry sequence costs nothing regardless of policy.
+func TestBackoffZeroAttemptEdge(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		base float64 // effective base after defaults
+	}{
+		{"default", DefaultBackoff(), 1},
+		{"zero value uses defaults", Backoff{}, 1},
+		{"custom base", Backoff{BaseSeconds: 4, CapSeconds: 100, Factor: 3}, 4},
+		{"base above cap", Backoff{BaseSeconds: 50, CapSeconds: 10, Factor: 2}, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, salt := range []int64{0, 1, -9, 1 << 40} {
+				d0 := tc.b.Delay(0, salt)
+				if d0 < tc.base/2 || d0 >= tc.base {
+					t.Errorf("salt %d: attempt-0 delay %g outside [%g, %g)", salt, d0, tc.base/2, tc.base)
+				}
+				for _, neg := range []int{-1, -100} {
+					if got := tc.b.Delay(neg, salt); got != d0 {
+						t.Errorf("salt %d: Delay(%d) = %g, want clamp to attempt 0 (%g)", salt, neg, got, d0)
+					}
+				}
+				if got := tc.b.TotalDelay(0, salt); got != 0 {
+					t.Errorf("salt %d: TotalDelay(0) = %g, want 0", salt, got)
+				}
+				if got := tc.b.TotalDelay(-3, salt); got != 0 {
+					t.Errorf("salt %d: TotalDelay(-3) = %g, want 0", salt, got)
+				}
+			}
+		})
 	}
 }

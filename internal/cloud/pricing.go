@@ -52,12 +52,16 @@ func (p Pricing) Validate() error {
 
 // Quanta returns the number of whole quanta needed to cover d seconds:
 // resources are prepaid for whole quanta (§3), so this rounds up. Zero
-// duration costs zero quanta.
+// duration costs zero quanta. The billing wall tolerates float noise: a
+// duration that is a whole number of quanta up to rounding error (e.g. the
+// float k*Q, whose quotient by Q can land just above k) must charge k
+// quanta, not k+1 — callers bill durations they derived from quantum
+// arithmetic, and double rounding must never invent a phantom quantum.
 func (p Pricing) Quanta(seconds float64) int {
 	if seconds <= 0 {
 		return 0
 	}
-	return int(math.Ceil(seconds / p.QuantumSeconds))
+	return int(math.Ceil(seconds/p.QuantumSeconds - 1e-9))
 }
 
 // InQuanta converts seconds to fractional quanta (the paper reports both

@@ -1,0 +1,51 @@
+package sched_test
+
+// External-package wiring of the invariant auditor (internal/check,
+// DESIGN.md §8): the skyline and online schedulers must produce plans that
+// satisfy the §3 lease/idle-slot structure and the Pareto-frontier
+// property on randomized workloads, not only on the hand-built examples of
+// the internal tests.
+
+import (
+	"testing"
+
+	"idxflow/internal/check"
+	"idxflow/internal/sched"
+)
+
+func TestAuditSkylineFrontiers(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := check.NewScenario(seed, 0)
+		skyline := sched.NewSkyline(sc.Opts).Schedule(sc.Graph)
+		if len(skyline) == 0 {
+			t.Fatalf("seed %d: empty skyline", seed)
+		}
+		if err := check.AuditFrontier(skyline); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAuditSkylineWithOptional(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := check.NewScenario(seed, 0)
+		for i, s := range sched.NewSkyline(sc.Opts).ScheduleWithOptional(sc.Graph) {
+			if err := check.AuditSchedule(s); err != nil {
+				t.Errorf("seed %d schedule %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+func TestAuditOnlineLoadBalance(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := check.NewScenario(seed, 0)
+		s := sched.OnlineLoadBalance(sc.Graph, sc.Opts)
+		if s == nil {
+			t.Fatalf("seed %d: no online schedule", seed)
+		}
+		if err := check.AuditSchedule(s); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -625,7 +625,7 @@ func (s *Schedule) IdleSlots() []Slot {
 // boundaries and appends the pieces to out.
 func appendIdle(out []Slot, c int, q, from, to float64) []Slot {
 	for from < to-1e-9 {
-		qi := int(from / q)
+		qi := quantumIndex(from, q)
 		qEnd := math.Min(float64(qi+1)*q, to)
 		if qEnd-from > 1e-9 {
 			out = append(out, Slot{Container: c, Quantum: qi, Start: from, End: qEnd})
@@ -633,6 +633,19 @@ func appendIdle(out []Slot, c int, q, from, to float64) []Slot {
 		from = qEnd
 	}
 	return out
+}
+
+// quantumIndex returns the quantum containing time t. When t sits exactly on
+// the float representing boundary k*q, dividing can round to just under k and
+// truncate to k-1, which would make the k-1 piece end at t itself and the
+// boundary walks above loop forever; nudging the index until (qi+1)*q clears
+// t keeps the walk advancing and the piece labeled with its true quantum.
+func quantumIndex(t, q float64) int {
+	qi := int(t / q)
+	for float64(qi+1)*q <= t {
+		qi++
+	}
+	return qi
 }
 
 // Fragmentation returns the total idle time in seconds across all leased
@@ -685,7 +698,7 @@ func (s *Schedule) MaxSequentialIdle() float64 {
 // run merge, returning the updated (run, prevEnd, best) triple.
 func idleRunFold(q, from, to, run, prevEnd, best float64) (float64, float64, float64) {
 	for from < to-1e-9 {
-		qi := int(from / q)
+		qi := quantumIndex(from, q)
 		qEnd := math.Min(float64(qi+1)*q, to)
 		if qEnd-from > 1e-9 {
 			if math.Abs(prevEnd-from) < 1e-9 {

@@ -1,5 +1,6 @@
 #!/bin/sh
-# ci.sh — the checks CI runs, runnable locally: gofmt, vet, build, race tests.
+# ci.sh — the checks CI runs, runnable locally: gofmt, vet, build, tests
+# with a coverage gate, race tests.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,8 +19,15 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (with coverage) =="
+go test -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+baseline=$(cat scripts/coverage_baseline.txt)
+echo "total coverage: ${total}% (baseline ${baseline}%)"
+if ! awk -v t="$total" -v b="$baseline" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }'; then
+	echo "coverage ${total}% fell below the ${baseline}% baseline (scripts/coverage_baseline.txt)"
+	exit 1
+fi
 
 # The scheduler's worker-pool expansion and the experiment fan-out are
 # concurrent; the race detector runs as its own pass, in short mode to
