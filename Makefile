@@ -61,7 +61,7 @@ bench-short:
 # committed BENCH_PR3.json baseline; fails on >15% ns/op or allocs/op
 # regression in any shared benchmark.
 bench-compare:
-	scripts/bench_compare.sh BENCH_PR3.json BENCH_PR4.json
+	scripts/bench_compare.sh BENCH_PR4.json BENCH_PR6.json
 
 # Profile the experiment driver end to end; see README "Profiling" for how
 # to read the output. PROFILE_ARGS selects the workload (default fig6).

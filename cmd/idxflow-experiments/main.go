@@ -5,11 +5,15 @@
 // Usage:
 //
 //	idxflow-experiments [-exp id] [-seed n] [-horizon quanta] [-scale s] [-trials n]
-//	                    [-trace out.json]
+//	                    [-trace out.json] [-events out.jsonl]
 //
 // With -trace, the package-level tracer is enabled for the whole run and
 // the span timeline of every service the experiments construct is written
-// as Chrome trace-event JSON at exit.
+// as Chrome trace-event JSON at exit. With -events, the package-level
+// flight recorder is enabled the same way and the decision-provenance
+// event log is written as JSONL at exit; experiments that run strategies
+// concurrently interleave their events (sequence order is append order,
+// not deterministic across workers).
 //
 // Experiment ids: params, table4, table5, table6, fig3, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12 (phase workload, includes table7 and fig13),
@@ -29,6 +33,7 @@ import (
 
 	"idxflow/internal/experiments"
 	"idxflow/internal/profiling"
+	"idxflow/internal/provenance"
 	"idxflow/internal/telemetry"
 )
 
@@ -40,6 +45,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.05, "TPC-H scale factor for table6 (paper: 2)")
 		trials   = flag.Int("trials", 3, "trials per point for fig6/fig7")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
+		events   = flag.String("events", "", "write the decision-provenance event log (JSONL) to this file")
 		faults   = flag.String("faults", "", "comma-separated fault rates (events/container/quantum) for -exp fault; empty = default sweep")
 		faultSd  = flag.Int64("fault-seed", 42, "seed for the generated fault plans of -exp fault")
 		parallel = flag.Int("parallelism", 0, "experiment fan-out pool size (0 = NumCPU, 1 = serial); results are identical at any setting")
@@ -68,6 +74,26 @@ func main() {
 			}
 			fmt.Printf("trace: %d spans -> %s (open in chrome://tracing)\n",
 				telemetry.DefaultTracer().Len(), *traceOut)
+		}()
+	}
+
+	if *events != "" {
+		// Same pattern as -trace: the experiment services default to the
+		// package-level recorder, so enabling it captures all of them.
+		provenance.Default().SetEnabled(true)
+		defer func() {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := provenance.Default().WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("events: %d recorded (%d retained) -> %s\n",
+				provenance.Default().Total(), provenance.Default().Len(), *events)
 		}()
 	}
 
@@ -132,6 +158,7 @@ func main() {
 		res := experiments.Phase(*seed, horizonSec)
 		fmt.Println(res.Finished)
 		fmt.Println(res.Cost)
+		fmt.Println(res.Latency)
 		fmt.Println(res.Ops)
 		fmt.Println(res.Adapt)
 	}
@@ -142,6 +169,7 @@ func main() {
 		res := experiments.Random(*seed, horizonSec)
 		fmt.Println(res.Finished)
 		fmt.Println(res.Cost)
+		fmt.Println(res.Latency)
 	}
 	if run("fault") {
 		rates, err := parseRates(*faults)

@@ -5,24 +5,31 @@
 // Prometheus text exposition format.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: the listener closes
-// immediately and in-flight requests get -drain to finish.
+// immediately and in-flight requests get -drain to finish. With -trace or
+// -events, the span timeline and the decision-provenance event log are
+// flushed to their files after the drain, so decisions made by the last
+// in-flight submissions are captured.
 //
 // Usage:
 //
 //	idxflow-server [-addr :8080] [-strategy gain] [-seed 1] [-drain 10s]
+//	               [-trace out.json] [-events out.jsonl]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"idxflow/internal/core"
+	"idxflow/internal/provenance"
 	"idxflow/internal/server"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -32,6 +39,8 @@ func main() {
 		strategy = flag.String("strategy", "gain", "no-index | random | gain-no-delete | gain")
 		seed     = flag.Int64("seed", 1, "random seed for the file database")
 		drain    = flag.Duration("drain", server.DefaultDrainTimeout, "in-flight request drain timeout on shutdown")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file on shutdown")
+		events   = flag.String("events", "", "write the decision-provenance event log (JSONL) to this file on shutdown; /debug/events serves it live")
 	)
 	flag.Parse()
 
@@ -54,8 +63,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *traceOut != "" {
+		cfg.Tracer = telemetry.NewTracer()
+	}
+	if *events != "" {
+		cfg.Provenance = provenance.NewRecorder(0)
+	}
 	svc := core.NewService(cfg, db)
 	srv := server.New(svc, db)
+	if *traceOut != "" {
+		srv.OnShutdown(func() {
+			if err := writeFile(*traceOut, cfg.Tracer.WriteChromeTrace); err != nil {
+				log.Printf("idxflow-server: writing trace: %v", err)
+				return
+			}
+			log.Printf("idxflow-server: %d spans -> %s", cfg.Tracer.Len(), *traceOut)
+		})
+	}
+	if *events != "" {
+		srv.OnShutdown(func() {
+			if err := writeFile(*events, cfg.Provenance.WriteJSONL); err != nil {
+				log.Printf("idxflow-server: writing events: %v", err)
+				return
+			}
+			log.Printf("idxflow-server: %d events -> %s", cfg.Provenance.Len(), *events)
+		})
+	}
 	log.Printf("idxflow-server listening on %s (strategy %s, %d tables, %d potential indexes)",
 		*addr, cfg.Strategy, len(db.Files), len(db.Catalog.IndexNames()))
 
@@ -67,4 +100,17 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("idxflow-server: drained, shutting down")
+}
+
+// writeFile creates path and streams write's output into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

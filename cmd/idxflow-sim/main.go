@@ -5,12 +5,17 @@
 //
 //	idxflow-sim [-strategy gain] [-generator phase] [-horizon 720]
 //	            [-algo lp] [-seed 1] [-error 0.1] [-v] [-trace out.json]
-//	            [-faults 0.01] [-fault-seed 42]
+//	            [-faults 0.01] [-fault-seed 42] [-events out.jsonl] [-explain]
 //	idxflow-sim -flow path/to/flow.txt [-flow more.txt]  # submit flowlang files
 //
 // With -trace, the scheduler/executor span timeline of the run is written
 // as Chrome trace-event JSON, loadable in chrome://tracing or
 // https://ui.perfetto.dev.
+//
+// With -events, every tuner decision (admissions, skyline choices, index
+// adoptions/evictions with their Eq. 2–5 gain inputs, build placements,
+// faults, settlements) is written as a JSONL event log. -explain prints the
+// same decisions as a per-dataflow narrative instead.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"idxflow/internal/fault"
 	"idxflow/internal/flowlang"
 	"idxflow/internal/profiling"
+	"idxflow/internal/provenance"
 	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
@@ -49,6 +55,8 @@ func main() {
 		parallel  = flag.Int("parallelism", 0, "scheduler worker-pool size (0 = NumCPU, 1 = serial); output is identical at any setting")
 		verbose   = flag.Bool("v", false, "print per-dataflow results")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file")
+		eventsOut = flag.String("events", "", "write the decision-provenance event log (JSONL) to this file")
+		explain   = flag.Bool("explain", false, "print a per-dataflow narrative of every tuner decision")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -134,8 +142,37 @@ func main() {
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer()
 	}
+	if *eventsOut != "" || *explain {
+		cfg.Provenance = provenance.NewRecorder(0)
+	}
 	svc := core.NewService(cfg, db)
 	m := svc.Run(flows, horizonSec)
+
+	if *explain {
+		if err := provenance.Explain(os.Stdout, cfg.Provenance.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cfg.Provenance.WriteJSONL(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("events:            %d recorded (%d retained) -> %s\n",
+			cfg.Provenance.Total(), cfg.Provenance.Len(), *eventsOut)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -169,6 +206,12 @@ func main() {
 	fmt.Printf("dataflows:         %d finished / %d submitted / %d generated\n",
 		m.FlowsFinished, m.FlowsSubmitted, len(flows))
 	fmt.Printf("mean makespan:     %.1f s\n", m.MeanMakespan)
+	if q := quantileLine(svc.Telemetry(), "idxflow_flow_makespan_seconds", "s"); q != "" {
+		fmt.Printf("makespan quantile: %s\n", q)
+	}
+	if q := quantileLine(svc.Telemetry(), "idxflow_flow_quanta", "q"); q != "" {
+		fmt.Printf("quanta quantile:   %s\n", q)
+	}
 	fmt.Printf("VM cost:           $%.2f (%.0f quanta)\n", m.VMCost, m.VMQuanta)
 	fmt.Printf("storage cost:      $%.4f\n", m.StorageCost)
 	fmt.Printf("cost per dataflow: $%.3f\n", m.CostPerFlow)
@@ -187,4 +230,15 @@ func pct(a, b int) float64 {
 		return 0
 	}
 	return float64(a) / float64(b) * 100
+}
+
+// quantileLine renders "p50=… p95=… p99=…" for the named histogram, or ""
+// when it recorded nothing. Values are bucket-interpolated estimates.
+func quantileLine(reg *telemetry.Registry, name, unit string) string {
+	h := reg.Histogram(name, "", nil)
+	if h.Count() == 0 {
+		return ""
+	}
+	return fmt.Sprintf("p50=%.1f%s p95=%.1f%s p99=%.1f%s",
+		h.Quantile(0.50), unit, h.Quantile(0.95), unit, h.Quantile(0.99), unit)
 }

@@ -105,6 +105,12 @@ func main() {
 		reg.Counter("idxflow_quanta_charged_total", "").Value())
 	fmt.Printf("  builds completed:      %g\n",
 		reg.Counter("idxflow_builds_completed_total", "").Value())
+	// Latency quantiles from the executor's runtime histogram: linear
+	// interpolation inside the bucket that spans the target rank, the same
+	// estimate Prometheus's histogram_quantile gives.
+	scans := reg.HistogramVec("idxflow_op_run_seconds", "", nil, "kind").With("range")
+	fmt.Printf("  scan latency:          p50=%.1fs p95=%.1fs p99=%.1fs (%d scans)\n",
+		scans.Quantile(0.50), scans.Quantile(0.95), scans.Quantile(0.99), scans.Count())
 }
 
 func must(err error) {

@@ -13,6 +13,7 @@ import (
 
 	"idxflow/internal/data"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/provenance"
 	"idxflow/internal/telemetry"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// Metrics, when non-nil, counts recommended candidates and observes
 	// their estimated savings.
 	Metrics *telemetry.Registry
+	// Provenance, when active, receives an advisor-proposed event with
+	// the candidate count per advised flow.
+	Provenance *provenance.Recorder
+	// Flow attributes the event to a dataflow (0 = unattributed), and Now
+	// is the service time stamped onto it.
+	Flow provenance.FlowID
+	Now  float64
 }
 
 // Advise analyzes the flow against the catalog and returns recommended
@@ -133,6 +141,12 @@ func Advise(flow *dataflow.Flow, cat *data.Catalog, opts Options) []Candidate {
 		telemetry.ExponentialBuckets(1, 2, 14))
 	for _, c := range out {
 		saved.Observe(c.SavedSeconds)
+	}
+	if opts.Provenance.Active() {
+		opts.Provenance.Append(provenance.Event{
+			Kind: provenance.KindAdvisorProposed, Flow: opts.Flow, T: opts.Now,
+			Name: flow.Name, Count: len(out),
+		})
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"idxflow/internal/fault"
 	"idxflow/internal/gain"
 	"idxflow/internal/interleave"
+	"idxflow/internal/provenance"
 	"idxflow/internal/sched"
 	"idxflow/internal/sim"
 	"idxflow/internal/telemetry"
@@ -121,6 +122,13 @@ type Config struct {
 	// Nil means telemetry.DefaultTracer(), which is disabled until a
 	// -trace flag enables it, so tracing costs one nil check per span.
 	Tracer *telemetry.Tracer
+	// Provenance is the decision flight recorder: every consequential
+	// tuner decision (admission, skyline choice, index adoption/eviction,
+	// build placement/commit/kill, fault, settlement) is appended as a
+	// typed event attributed to the submitting flow. Nil means
+	// provenance.Default(), which is disabled until a -events flag enables
+	// it, so recording costs one atomic load per decision site.
+	Provenance *provenance.Recorder
 }
 
 // DefaultConfig returns the Table 3 configuration with the Gain strategy
@@ -147,6 +155,10 @@ func DefaultConfig() Config {
 // FlowResult is the outcome of one dataflow execution.
 type FlowResult struct {
 	Flow *dataflow.Flow
+	// FlowID is the provenance identifier assigned at submission (1, 2,
+	// ... in submission order); every flight-recorder event this
+	// execution produced carries it.
+	FlowID provenance.FlowID
 	// Start and End are service times in seconds; Start is the later of
 	// the arrival time and the previous dataflow's completion (dataflows
 	// are issued and executed sequentially, §3).
@@ -220,7 +232,13 @@ type Service struct {
 	makespanSum float64
 	tel         *telemetry.Registry
 	tracer      *telemetry.Tracer
+	prov        *provenance.Recorder
 	ins         serviceInstruments
+	// nextFlow assigns provenance FlowIDs in submission order; curFlow is
+	// the flow currently inside Submit, so helpers triggered by it
+	// (deletion, batch updates) attribute their events correctly.
+	nextFlow provenance.FlowID
+	curFlow  provenance.FlowID
 	// lastUsed records, per index, the last service time a dataflow
 	// listed it as potentially useful — the hysteresis input.
 	lastUsed map[string]float64
@@ -244,10 +262,14 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 	if cfg.Tracer == nil {
 		cfg.Tracer = telemetry.DefaultTracer()
 	}
+	if cfg.Provenance == nil {
+		cfg.Provenance = provenance.Default()
+	}
 	// Thread the observability handles through the scheduling layers; the
 	// executor and storage get them below.
 	cfg.Sched.Metrics = cfg.Telemetry
 	cfg.Sched.Tracer = cfg.Tracer
+	cfg.Sched.Provenance = cfg.Provenance
 	s := &Service{
 		cfg:      cfg,
 		db:       db,
@@ -257,10 +279,12 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 		lastUsed: make(map[string]float64),
 		tel:      cfg.Telemetry,
 		tracer:   cfg.Tracer,
+		prov:     cfg.Provenance,
 	}
 	s.ins = newServiceInstruments(s.tel)
 	s.storage.Instrument(s.tel)
 	s.eval.Metrics = s.tel
+	s.eval.Provenance = s.prov
 	// Bind the executor's instrument bundle once up front so the per-query
 	// Submit path hits the registry memo instead of re-resolving handles.
 	sim.PreregisterMetrics(s.tel)
@@ -276,6 +300,9 @@ func (s *Service) Telemetry() *telemetry.Registry { return s.tel }
 
 // Tracer returns the tracer the service records spans into.
 func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Provenance returns the decision flight recorder the service appends to.
+func (s *Service) Provenance() *provenance.Recorder { return s.prov }
 
 // Catalog exposes the underlying catalog (index states).
 func (s *Service) Catalog() *data.Catalog { return s.db.Catalog }
@@ -506,6 +533,7 @@ func (s *Service) applyBatchUpdates() {
 	}
 	for s.clock-s.lastUpdate >= period {
 		s.lastUpdate += period
+		invalidated := 0
 		for _, f := range s.db.Files {
 			for _, p := range f.Table.Partitions {
 				if s.rng.Float64() >= frac {
@@ -519,22 +547,42 @@ func (s *Service) applyBatchUpdates() {
 					s.storage.Delete(path)
 					s.InvalidatedPartitions++
 					s.ins.invalidated.Inc()
+					invalidated++
 				}
 			}
+		}
+		if invalidated > 0 && s.prov.Active() {
+			s.prov.Append(provenance.Event{
+				Kind: provenance.KindIndexInvalidated, Flow: s.curFlow,
+				T: s.lastUpdate, Name: "batch-update", Count: invalidated,
+			})
 		}
 	}
 }
 
 // Submit processes one dataflow through Algorithm 1 and executes it.
 func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
-	span := s.tracer.StartSpan("service.submit").SetAttr("flow", flow.Name)
+	s.nextFlow++
+	id := s.nextFlow
+	s.curFlow = id
+	defer func() { s.curFlow = 0 }()
+	span := s.tracer.StartSpan("service.submit").
+		SetAttr("flow", flow.Name).
+		SetAttr("flow_id", uint64(id))
 	defer span.End()
 	s.ins.flowsSubmitted.Inc()
 	if flow.IssuedAt > s.clock {
 		s.clock = flow.IssuedAt
 	}
+	recording := s.prov.Active()
+	if recording {
+		s.prov.Append(provenance.Event{
+			Kind: provenance.KindFlowAdmitted, Flow: id, T: s.clock,
+			Name: flow.Name, Count: len(flow.Graph.Ops()),
+		})
+	}
 	s.applyBatchUpdates()
-	res := FlowResult{Flow: flow, Start: s.clock}
+	res := FlowResult{Flow: flow, FlowID: id, Start: s.clock}
 
 	// Update runtimes with the available indexes (line 1-5 of Alg. 2).
 	// Only the gain-driven strategies rewrite operators to use indexes:
@@ -566,6 +614,7 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 	})
 
 	// Gain bookkeeping and ranking (lines 2-9 of Alg. 1).
+	s.eval.Flow = id
 	var builds []buildCandidate
 	if s.cfg.Strategy == Gain || s.cfg.Strategy == GainNoDelete {
 		s.recordGains(flow)
@@ -606,10 +655,53 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 	}
 
 	// Schedule (lines 10-11): interleave and pick the fastest schedule.
+	// The scheduler options carry the flow attribution so interleave and
+	// skyline events land on this dataflow.
+	s.cfg.Sched.FlowID = id
+	s.cfg.Sched.Now = s.clock
 	skyline := s.interleaver().Interleave(g, gains)
 	chosen := sched.Fastest(skyline)
 	if chosen == nil {
 		return res
+	}
+	if recording {
+		ev := provenance.Event{
+			Kind: provenance.KindFlowScheduled, Flow: id, T: s.clock,
+			Makespan:    chosen.Makespan(),
+			MoneyQuanta: chosen.MoneyQuanta(),
+			Containers:  chosen.Containers(),
+		}
+		// The Pareto alternatives the tuner passed over, so the choice is
+		// auditable against the skyline it came from.
+		for _, alt := range skyline {
+			if alt == chosen {
+				continue
+			}
+			ev.Alts = append(ev.Alts, provenance.ParetoPoint{
+				Makespan:    alt.Makespan(),
+				MoneyQuanta: alt.MoneyQuanta(),
+				Containers:  alt.Containers(),
+			})
+		}
+		s.prov.Append(ev)
+		// One placement event per interleaved build op that made the chosen
+		// schedule, with its slot coordinates.
+		byOpCand := make(map[dataflow.OpID]buildCandidate, len(builds))
+		for _, b := range builds {
+			byOpCand[b.op] = b
+		}
+		for _, a := range chosen.Assignments() {
+			b, ok := byOpCand[a.Op]
+			if !ok {
+				continue
+			}
+			s.prov.Append(provenance.Event{
+				Kind: provenance.KindBuildPlaced, Flow: id, T: s.clock,
+				Name: b.index, Part: b.pid,
+				Op:        chosen.Graph.Op(a.Op).Name,
+				Container: a.Container, Start: a.Start, End: a.End,
+			})
+		}
 	}
 
 	// Idle-slot accounting over the chosen schedule, before dedicated-build
@@ -639,6 +731,7 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		Pricing: s.cfg.Sched.Pricing, Spec: s.cfg.Sched.Spec,
 		Faults: s.cfg.Faults.From(s.clock), Backoff: s.cfg.Backoff,
 		Metrics: s.tel, Tracer: s.tracer,
+		Provenance: s.prov, FlowID: id, ProvenanceT0: s.clock,
 	}
 	if s.cfg.RuntimeError > 0 {
 		e := s.cfg.RuntimeError
@@ -681,13 +774,27 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		}
 		res.BuildsCompleted++
 		idx := st.Index
-		s.storage.Put(idx.PartitionPath(b.pid), idx.PartitionSizeMB(idx.Table.Partitions[b.pid]))
+		mb := idx.PartitionSizeMB(idx.Table.Partitions[b.pid])
+		s.storage.Put(idx.PartitionPath(b.pid), mb)
+		if recording {
+			s.prov.Append(provenance.Event{
+				Kind: provenance.KindBuildCommitted, Flow: id, T: s.clock,
+				Name: b.index, Part: b.pid, SizeMB: mb,
+			})
+		}
 	}
 
 	// Advance the clock to this dataflow's completion and accrue storage.
 	s.clock += run.Makespan
 	res.End = s.clock
 	s.storage.Advance(s.clock)
+	if recording {
+		s.prov.Append(provenance.Event{
+			Kind: provenance.KindMoneySettled, Flow: id, T: s.clock,
+			Makespan: run.Makespan, MoneyQuanta: run.MoneyQuanta,
+			WastedQuanta: run.WastedQuanta, Containers: chosen.Containers(),
+		})
+	}
 
 	s.ins.flowsFinished.Inc()
 	s.ins.flowMakespan.Observe(run.Makespan)
@@ -771,7 +878,28 @@ func (s *Service) deleteNonBeneficial() []string {
 	}
 	var deleted []string
 	q := s.cfg.Sched.Pricing.QuantumSeconds
+	recording := s.prov.Active()
+	var byName map[string]gain.Costs
+	if recording {
+		byName = make(map[string]gain.Costs, len(candidates))
+		for _, c := range candidates {
+			byName[c.Name] = c
+		}
+	}
 	for _, name := range s.eval.NonBeneficial(candidates, s.clock) {
+		if recording {
+			// Recompute the non-positive gains that justified the drop so
+			// the event carries the Eq. 4/5 evidence.
+			c := byName[name]
+			s.prov.Append(provenance.Event{
+				Kind: provenance.KindIndexEvicted, Flow: s.curFlow, T: s.clock,
+				Name:     name,
+				TimeGain: s.eval.TimeGain(c, s.clock), MoneyGain: s.eval.MoneyGain(c, s.clock),
+				SizeMB: c.SizeMB,
+				FadeD:  s.cfg.Gain.FadeD, WindowW: s.cfg.Gain.WindowW,
+				Records: len(s.eval.History.Records(name)),
+			})
+		}
 		for _, path := range s.db.Catalog.Drop(name) {
 			s.storage.Delete(path)
 		}

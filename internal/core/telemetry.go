@@ -34,6 +34,7 @@ func newServiceInstruments(reg *telemetry.Registry) serviceInstruments {
 	// list every metric name.
 	sim.PreregisterMetrics(reg)
 	cloud.CacheMetrics(reg)
+	telemetry.RegisterBuildInfo(reg)
 	quanta := telemetry.ExponentialBuckets(1, 2, 10)
 	gains := telemetry.ExponentialBuckets(0.125, 2, 14)
 	return serviceInstruments{

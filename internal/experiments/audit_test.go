@@ -10,8 +10,11 @@ import (
 	"testing"
 
 	"idxflow/internal/check"
+	"idxflow/internal/core"
+	"idxflow/internal/provenance"
 	"idxflow/internal/sched"
 	"idxflow/internal/sim"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
@@ -40,6 +43,40 @@ func TestAuditPaperWorkloads(t *testing.T) {
 				t.Errorf("%v schedule %d: %v", app, i, err)
 			}
 		}
+	}
+}
+
+// TestAuditProvenancePhaseWorkload runs the §6.5.1 phase workload — the
+// Fig. 12 setting, with runtime-estimate noise — through the full service
+// with the flight recorder on, and requires the recorded decision chain
+// to agree with the realized books (DESIGN.md §9 prov-* catalog).
+func TestAuditProvenancePhaseWorkload(t *testing.T) {
+	db, err := workload.NewFileDB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Sched.MaxSkyline = 4
+	cfg.RuntimeError = 0.2
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Provenance = provenance.NewRecorder(0)
+	svc := core.NewService(cfg, db)
+
+	gen := workload.NewGenerator(db, 3)
+	phases := workload.DefaultPhases()
+	horizon := float64(Horizon720) / 8
+	for i := range phases {
+		phases[i].Seconds /= 8
+	}
+	m := svc.Run(gen.PhaseWorkload(phases, 60), horizon)
+	if len(m.Results) == 0 {
+		t.Fatal("phase workload executed no flows")
+	}
+	if cfg.Provenance.Dropped() > 0 {
+		t.Fatalf("ring wrapped (%d dropped); grow the recorder", cfg.Provenance.Dropped())
+	}
+	if err := check.AuditProvenance(cfg.Provenance.Snapshot(), m); err != nil {
+		t.Errorf("provenance audit: %v", err)
 	}
 }
 

@@ -21,6 +21,9 @@ type DynamicResult struct {
 	Cost     *Table // Fig 12 / Fig 14 right: cost per dataflow
 	Ops      *Table // Table 7: operators executed and killed
 	Adapt    *Table // Fig 13: indexes and storage cost over time (Gain run)
+	// Latency summarizes the per-strategy makespan distribution:
+	// bucket-interpolated p50/p95/p99 from the run's telemetry histogram.
+	Latency *Table
 	// Metrics per strategy, for assertions.
 	Metrics map[core.Strategy]core.Metrics
 }
@@ -44,6 +47,10 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 			Title:  fmt.Sprintf("Fig 13: Adaptation over time, Gain strategy (%s)", title),
 			Header: []string{"t (quanta)", "Indexes built", "Storage MB", "Storage cost ($)"},
 		},
+		Latency: &Table{
+			Title:  fmt.Sprintf("Makespan quantiles (%s)", title),
+			Header: []string{"Strategy", "p50 (s)", "p95 (s)", "p99 (s)"},
+		},
 		Metrics: make(map[core.Strategy]core.Metrics),
 	}
 
@@ -53,6 +60,7 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 	// in strategy order afterwards so tables never depend on completion
 	// order.
 	perStrat := make([]core.Metrics, len(strategies))
+	quantiles := make([][3]float64, len(strategies))
 	runJobs(len(strategies), func(i int) {
 		db, err := workload.NewFileDB(seed)
 		if err != nil {
@@ -68,6 +76,10 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 		cfg.Telemetry = telemetry.NewRegistry()
 		svc := core.NewService(cfg, db)
 		perStrat[i] = svc.Run(flows, horizon)
+		// The registry is discarded with the service; capture the makespan
+		// quantiles while it is still in reach.
+		h := cfg.Telemetry.Histogram("idxflow_flow_makespan_seconds", "", nil)
+		quantiles[i] = [3]float64{h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)}
 	})
 
 	for i, strat := range strategies {
@@ -75,6 +87,7 @@ func runDynamic(title string, seed int64, flowsFor func(gen *workload.Generator)
 		res.Metrics[strat] = m
 
 		res.Finished.AddRow(strat.String(), m.FlowsFinished, m.FlowsSubmitted)
+		res.Latency.AddRow(strat.String(), quantiles[i][0], quantiles[i][1], quantiles[i][2])
 		res.Cost.AddRow(strat.String(), m.CostPerFlow, m.VMCost, m.StorageCost, m.MeanMakespan)
 		pct := 0.0
 		if m.TotalOps > 0 {

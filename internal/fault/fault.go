@@ -94,6 +94,27 @@ func (e Event) KillsContainer() bool {
 	return e.Kind == ContainerCrash || e.Kind == SpotRevocation
 }
 
+// Describe renders the event as a short human-readable phrase for explain
+// narratives and debug output.
+func (e Event) Describe() string {
+	target := fmt.Sprintf("container %d", e.Container)
+	if e.Container == AnyContainer {
+		target = "an active container"
+	}
+	switch e.Kind {
+	case ContainerCrash:
+		return fmt.Sprintf("%s crashes at t=%.0fs", target, e.At)
+	case SpotRevocation:
+		return fmt.Sprintf("%s revoked at t=%.0fs (%.0fs notice)", target, e.At, e.NoticeSeconds)
+	case StorageError:
+		return fmt.Sprintf("transient storage error on %s at t=%.0fs (%d retries)", target, e.At, e.Retries)
+	case Straggler:
+		return fmt.Sprintf("%s straggles %.1fx from t=%.0fs", target, e.SlowFactor, e.At)
+	default:
+		return fmt.Sprintf("%s fault on %s at t=%.0fs", e.Kind, target, e.At)
+	}
+}
+
 // Plan is a time-ordered fault schedule in absolute service-time seconds.
 type Plan struct {
 	Events []Event

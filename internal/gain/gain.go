@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"idxflow/internal/cloud"
+	"idxflow/internal/provenance"
 	"idxflow/internal/telemetry"
 )
 
@@ -149,6 +150,14 @@ type Evaluator struct {
 	// Metrics, when non-nil, counts ranking activity: candidates
 	// evaluated and how many passed the beneficial test.
 	Metrics *telemetry.Registry
+	// Provenance, when active, receives an index-adopted event per
+	// beneficial candidate and an index-rejected event per candidate that
+	// failed the test, each carrying the Eq. 2–5 inputs (gt, gm, weighted
+	// gain, build cost, window and fading state) that justified it.
+	Provenance *provenance.Recorder
+	// Flow attributes Rank's provenance events to the dataflow whose
+	// submission triggered the ranking (0 = unattributed).
+	Flow provenance.FlowID
 }
 
 // NewEvaluator returns an evaluator over a fresh history.
@@ -225,20 +234,40 @@ type Ranked struct {
 // beneficial ones, and sorts them by descending weighted gain (the
 // rank2Dspace step of Algorithm 1).
 func (e *Evaluator) Rank(candidates []Costs, now float64) []Ranked {
+	recording := e.Provenance.Active()
 	var out []Ranked
 	for _, c := range candidates {
 		gt := e.TimeGain(c, now)
 		gm := e.MoneyGain(c, now)
 		if gt <= 0 || gm <= 0 {
+			if recording {
+				e.Provenance.Append(provenance.Event{
+					Kind: provenance.KindIndexRejected, Flow: e.Flow, T: now,
+					Name: c.Name, TimeGain: gt, MoneyGain: gm,
+					BuildQuanta: c.BuildQuanta, SizeMB: c.SizeMB,
+					FadeD: e.Params.FadeD, WindowW: e.Params.WindowW,
+					Records: len(e.History.Records(c.Name)),
+				})
+			}
 			continue
 		}
 		mc := e.Params.Pricing.VMPerQuantum
-		out = append(out, Ranked{
+		r := Ranked{
 			Costs:     c,
 			TimeGain:  gt,
 			MoneyGain: gm,
 			Gain:      e.Params.Alpha*mc*gt + (1-e.Params.Alpha)*gm,
-		})
+		}
+		out = append(out, r)
+		if recording {
+			e.Provenance.Append(provenance.Event{
+				Kind: provenance.KindIndexAdopted, Flow: e.Flow, T: now,
+				Name: c.Name, TimeGain: gt, MoneyGain: gm, Gain: r.Gain,
+				BuildQuanta: c.BuildQuanta, SizeMB: c.SizeMB,
+				FadeD: e.Params.FadeD, WindowW: e.Params.WindowW,
+				Records: len(e.History.Records(c.Name)),
+			})
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Gain != out[j].Gain {

@@ -14,8 +14,27 @@ import (
 
 	"idxflow/internal/dataflow"
 	"idxflow/internal/knapsack"
+	"idxflow/internal/provenance"
 	"idxflow/internal/sched"
 )
+
+// recordInterleave emits the per-submission placement summary event: how
+// many of the offered build operators found idle-slot homes across the
+// skyline (§5.3). Called after the parallel packing section, so appends
+// are single-threaded and deterministic.
+func recordInterleave(opts sched.Options, offered, placed, schedules int) {
+	if !opts.Provenance.Active() {
+		return
+	}
+	opts.Provenance.Append(provenance.Event{
+		Kind:       provenance.KindInterleaved,
+		Flow:       opts.FlowID,
+		T:          opts.Now,
+		Count:      placed,
+		Records:    offered,
+		Containers: schedules,
+	})
+}
 
 // Run is a contiguous idle period on one container (idle slots merged
 // across interior quantum boundaries: both quanta are already leased, so a
@@ -63,6 +82,9 @@ type LP struct {
 // of both dataflow and build operators.
 func (l *LP) Interleave(g *dataflow.Graph, gains map[dataflow.OpID]float64) []*sched.Schedule {
 	span := l.Scheduler.Opts.Tracer.StartSpan("interleave.lp")
+	if id := l.Scheduler.Opts.FlowID; id != 0 {
+		span.SetAttr("flow_id", uint64(id))
+	}
 	defer span.End()
 	skyline := l.Scheduler.Schedule(g)
 	builds := optionalOps(g)
@@ -81,6 +103,7 @@ func (l *LP) Interleave(g *dataflow.Graph, gains map[dataflow.OpID]float64) []*s
 	l.Scheduler.Opts.Metrics.Counter("idxflow_interleave_build_ops_placed_total",
 		"Index-build operators packed into idle slots across skyline schedules.").
 		Add(float64(placed))
+	recordInterleave(l.Scheduler.Opts, len(builds), placed, len(skyline))
 	span.SetAttr("schedules", len(skyline)).SetAttr("builds_offered", len(builds)).SetAttr("builds_placed", placed)
 	return skyline
 }
@@ -182,6 +205,9 @@ type Online struct {
 // skyline dominance rules.
 func (o *Online) Interleave(g *dataflow.Graph, _ map[dataflow.OpID]float64) []*sched.Schedule {
 	span := o.Scheduler.Opts.Tracer.StartSpan("interleave.online")
+	if id := o.Scheduler.Opts.FlowID; id != 0 {
+		span.SetAttr("flow_id", uint64(id))
+	}
 	defer span.End()
 	skyline := o.Scheduler.ScheduleWithOptional(g)
 	placed := 0
@@ -195,6 +221,7 @@ func (o *Online) Interleave(g *dataflow.Graph, _ map[dataflow.OpID]float64) []*s
 	o.Scheduler.Opts.Metrics.Counter("idxflow_interleave_build_ops_placed_total",
 		"Index-build operators packed into idle slots across skyline schedules.").
 		Add(float64(placed))
+	recordInterleave(o.Scheduler.Opts, len(optionalOps(g)), placed, len(skyline))
 	span.SetAttr("schedules", len(skyline)).SetAttr("builds_placed", placed)
 	return skyline
 }

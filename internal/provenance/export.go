@@ -1,0 +1,114 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"idxflow/internal/telemetry"
+)
+
+// Header is the first line of a JSONL event log: the format marker, the
+// binary's build identity, and how much of the run the ring retained.
+// Readers distinguish it from events by the "format" key (events never
+// carry one).
+type Header struct {
+	Format     string `json:"format"` // always FormatName
+	Version    string `json:"version,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Total      uint64 `json:"total"`             // events ever appended
+	Dropped    uint64 `json:"dropped,omitempty"` // overwritten by ring wrap
+}
+
+// FormatName is the value of Header.Format for this log layout.
+const FormatName = "idxflow-events/1"
+
+// NewHeader builds the header for this recorder's current contents,
+// stamped with the binary's build info.
+func (r *Recorder) NewHeader() Header {
+	bi := telemetry.ReadBuildInfo()
+	return Header{
+		Format:     FormatName,
+		Version:    bi.Version,
+		GoVersion:  bi.GoVersion,
+		GOMAXPROCS: bi.GOMAXPROCS,
+		Total:      r.Total(),
+		Dropped:    r.Dropped(),
+	}
+}
+
+// WriteJSONL writes a header line followed by one event per line — the
+// format served by /debug/events and written by the -events CLI flags.
+// An empty recorder still writes the header, so the output is always a
+// valid, attributable log.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, r.NewHeader(), r.Snapshot(), true)
+}
+
+// WriteEventsJSONL writes only the event lines, no header. The golden-file
+// test uses it: build info varies by environment, event bytes do not.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	return writeJSONL(w, Header{}, events, false)
+}
+
+// WriteLog writes an explicit header and event slice as JSONL — the
+// filtered-export path (/debug/events), where the events are a subset of a
+// recorder's snapshot but the header should still describe the recorder.
+func WriteLog(w io.Writer, h Header, events []Event) error {
+	return writeJSONL(w, h, events, true)
+}
+
+func writeJSONL(w io.Writer, h Header, events []Event, withHeader bool) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if withHeader {
+		if err := enc.Encode(h); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a log written by WriteJSONL or WriteEventsJSONL,
+// returning the header (zero-valued when absent) and the events.
+func ReadJSONL(r io.Reader) (Header, []Event, error) {
+	var h Header
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var probe struct {
+				Format string `json:"format"`
+			}
+			if err := json.Unmarshal(line, &probe); err == nil && probe.Format != "" {
+				if probe.Format != FormatName {
+					return h, nil, fmt.Errorf("provenance: unsupported log format %q", probe.Format)
+				}
+				if err := json.Unmarshal(line, &h); err != nil {
+					return h, nil, err
+				}
+				continue
+			}
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return h, nil, fmt.Errorf("provenance: bad event line: %w", err)
+		}
+		events = append(events, e)
+	}
+	return h, events, sc.Err()
+}

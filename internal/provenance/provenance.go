@@ -1,0 +1,338 @@
+// Package provenance is the decision flight recorder: a fixed-capacity
+// ring buffer of typed events, one per consequential tuner decision —
+// dataflow admission and skyline choice (Algorithm 1), index adoption and
+// eviction with the Eq. 2–5 gain inputs that justified them, interleaved
+// build placement (§5.3), fault injection/recovery (§6.4), and per-flow
+// money settlement (§4).
+//
+// The recorder is seed-deterministic: events carry simulated service time,
+// never wall-clock time, so two runs with the same seed produce the same
+// log. Appends take one mutex and copy the event into a preallocated slot;
+// a disabled or nil recorder costs a single atomic load, so recording can
+// stay threaded through hot paths the way nil tracer spans do.
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FlowID identifies one submitted dataflow. IDs are assigned by the
+// service in submission order starting at 1, so they are stable across
+// runs with the same seed; 0 means "not attributed to a flow" (e.g. a
+// fault injected between submissions).
+type FlowID uint64
+
+// Kind discriminates event types. It marshals to/from the stable string
+// names below, which are part of the JSONL format.
+type Kind int
+
+const (
+	// KindFlowAdmitted: a dataflow entered the service (Algorithm 1
+	// admission). Name is the dataflow name, Count its operator count.
+	KindFlowAdmitted Kind = iota
+	// KindFlowScheduled: the scheduler picked a skyline point for the
+	// flow. Makespan/MoneyQuanta/Containers describe the chosen plan;
+	// Alts holds the Pareto alternatives it beat (§5.2).
+	KindFlowScheduled
+	// KindIndexAdopted: the evaluator ranked an index beneficial
+	// (Eq. 2–5: gt > 0 and gm > 0) for this flow. TimeGain, MoneyGain,
+	// Gain, BuildQuanta, SizeMB, FadeD, WindowW, Records carry the
+	// inputs that justified it.
+	KindIndexAdopted
+	// KindIndexRejected: a candidate whose weighted gain was not
+	// beneficial; kept so "why was no index built" is answerable.
+	KindIndexRejected
+	// KindIndexEvicted: the Gain strategy deleted a non-beneficial
+	// index (Algorithm 1 line 13). TimeGain/MoneyGain are its faded
+	// window gains at eviction time.
+	KindIndexEvicted
+	// KindIndexInvalidated: batch updates invalidated index partitions
+	// (§6.3); Count is the number of partitions dropped.
+	KindIndexInvalidated
+	// KindBuildPlaced: one partition-build op was interleaved into the
+	// flow's idle slots (§5.3). Op is the building operator, Container
+	// and Start/End the placement.
+	KindBuildPlaced
+	// KindBuildCommitted: a build op finished inside the execution and
+	// its partition became queryable. Part is the partition id.
+	KindBuildCommitted
+	// KindBuildKilled: a build op was killed before completion; Reason
+	// is one of "preempted", "expired", "fault".
+	KindBuildKilled
+	// KindInterleaved: summary of one interleave pass — Count placements
+	// (summed across all skyline schedules, each packed independently) of
+	// Records offered build ops, over Containers skyline schedules.
+	KindInterleaved
+	// KindFaultInjected: a fault fired during execution. Name is the
+	// fault kind (crash, revocation, storage-error, straggler).
+	KindFaultInjected
+	// KindFaultRecovered: a fault's effects were repaired or re-run.
+	KindFaultRecovered
+	// KindMoneySettled: end-of-flow quantum settlement (§4 pricing):
+	// MoneyQuanta charged, Makespan achieved, WastedQuanta lost to
+	// faults.
+	KindMoneySettled
+	// KindAdvisorProposed: the advisor emitted candidate indexes for a
+	// flow; Count is how many.
+	KindAdvisorProposed
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindFlowAdmitted:     "flow-admitted",
+	KindFlowScheduled:    "flow-scheduled",
+	KindIndexAdopted:     "index-adopted",
+	KindIndexRejected:    "index-rejected",
+	KindIndexEvicted:     "index-evicted",
+	KindIndexInvalidated: "index-invalidated",
+	KindBuildPlaced:      "build-placed",
+	KindBuildCommitted:   "build-committed",
+	KindBuildKilled:      "build-killed",
+	KindInterleaved:      "interleaved",
+	KindFaultInjected:    "fault-injected",
+	KindFaultRecovered:   "fault-recovered",
+	KindMoneySettled:     "money-settled",
+	KindAdvisorProposed:  "advisor-proposed",
+}
+
+// String returns the stable wire name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind resolves a wire name ("index-adopted", "fault-injected", ...)
+// back to its Kind — the /debug/events?kind= filter parser.
+func ParseKind(s string) (Kind, error) {
+	for i, name := range kindNames {
+		if name == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("provenance: unknown event kind %q", s)
+}
+
+// MarshalJSON writes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the string names written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("provenance: unknown event kind %q", s)
+}
+
+// ParetoPoint is one skyline alternative the scheduler considered:
+// a (makespan, money) trade-off with its container count.
+type ParetoPoint struct {
+	Makespan    float64 `json:"makespan"`
+	MoneyQuanta float64 `json:"money_quanta"`
+	Containers  int     `json:"containers,omitempty"`
+}
+
+// Event is one recorded decision. It is a single flat struct so the ring
+// buffer holds events by value: appending copies into a preallocated slot
+// and allocates nothing (except FlowScheduled's Alts slice, built once per
+// flow). Fields irrelevant to a kind stay zero and are omitted from JSON.
+type Event struct {
+	Seq  uint64  `json:"seq"`
+	Kind Kind    `json:"kind"`
+	Flow FlowID  `json:"flow,omitempty"`
+	T    float64 `json:"t"` // simulated service time, seconds
+
+	Name      string  `json:"name,omitempty"` // dataflow, index, or fault-kind name
+	Op        string  `json:"op,omitempty"`   // operator name
+	Container int     `json:"container,omitempty"`
+	Part      int     `json:"part,omitempty"`
+	Start     float64 `json:"start,omitempty"` // seconds, relative to flow start
+	End       float64 `json:"end,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	Count     int     `json:"count,omitempty"`
+
+	// Eq. 2–5 gain inputs (index adoption/eviction).
+	TimeGain    float64 `json:"gt,omitempty"`
+	MoneyGain   float64 `json:"gm,omitempty"`
+	Gain        float64 `json:"gain,omitempty"`
+	BuildQuanta float64 `json:"build_quanta,omitempty"`
+	SizeMB      float64 `json:"size_mb,omitempty"`
+	FadeD       float64 `json:"fade_d,omitempty"`
+	WindowW     float64 `json:"window_w,omitempty"`
+	Records     int     `json:"records,omitempty"` // history records in the window
+
+	// Scheduling and settlement.
+	Makespan     float64       `json:"makespan,omitempty"`
+	MoneyQuanta  float64       `json:"money_quanta,omitempty"`
+	WastedQuanta float64       `json:"wasted_quanta,omitempty"`
+	Containers   int           `json:"containers,omitempty"`
+	Alts         []ParetoPoint `json:"alts,omitempty"` // rejected Pareto alternatives
+}
+
+// DefaultCapacity is the ring size used by NewRecorder(0) and the
+// package-level recorder: large enough to hold every event of the stock
+// experiment scenarios without wrapping, small enough (~a few MB) to
+// preallocate eagerly.
+const DefaultCapacity = 16384
+
+// Recorder is the flight recorder: a fixed-capacity ring of Events.
+// Appends are cheap (one mutex, one struct copy) and never allocate once
+// the ring is warm; when the ring is full the oldest events are
+// overwritten, and Snapshot reconstructs seq order across the wrap.
+// A nil Recorder is a valid no-op, as is a disabled one.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	buf  []Event
+	cap  int
+	next uint64 // total events ever appended; buf[next%cap] is the next slot
+}
+
+// NewRecorder returns an enabled recorder with the given ring capacity
+// (DefaultCapacity if capacity <= 0). The ring is preallocated so
+// steady-state appends allocate nothing.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{buf: make([]Event, capacity), cap: capacity}
+	r.enabled.Store(true)
+	return r
+}
+
+// std is the package-level recorder behind Default(). Its ring is
+// allocated lazily on first enabled append, so binaries that never turn
+// recording on pay nothing.
+var std = &Recorder{cap: DefaultCapacity}
+
+// Default returns the package-level recorder. Like telemetry's
+// DefaultTracer it starts disabled — appends cost one atomic load until
+// SetEnabled(true), which is how the -events CLI flags switch recording on
+// for code that defaulted to this recorder.
+func Default() *Recorder { return std }
+
+// SetEnabled turns recording on or off.
+func (r *Recorder) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Active reports whether appends are being recorded. Hot paths use it to
+// skip building events entirely when recording is off.
+func (r *Recorder) Active() bool { return r != nil && r.enabled.Load() }
+
+// Append stamps the event's sequence number and stores it in the ring,
+// overwriting the oldest event when full. Callers set every field except
+// Seq. Safe for concurrent use.
+func (r *Recorder) Append(e Event) {
+	if !r.Active() {
+		return
+	}
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]Event, r.cap)
+	}
+	e.Seq = r.next
+	r.buf[r.next%uint64(r.cap)] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(r.cap) {
+		return int(r.next)
+	}
+	return r.cap
+}
+
+// Total returns the number of events ever appended, including any that
+// have been overwritten.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns how many events were overwritten by the ring wrapping.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next <= uint64(r.cap) {
+		return 0
+	}
+	return r.next - uint64(r.cap)
+}
+
+// Snapshot returns the retained events in ascending Seq order, handling
+// ring wraparound: after an overwrite the snapshot starts at the oldest
+// surviving event. The returned slice is a copy, safe to keep while
+// appends continue.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next == 0 || r.buf == nil {
+		return nil
+	}
+	c := uint64(r.cap)
+	if r.next <= c {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	// Wrapped: the slot about to be written next holds the oldest event.
+	head := r.next % c
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out
+}
+
+// FlowEvents returns the retained events attributed to one flow, in Seq
+// order — the causally-ordered decision chain behind that dataflow's cost.
+func (r *Recorder) FlowEvents(id FlowID) []Event {
+	var out []Event
+	for _, e := range r.Snapshot() {
+		if e.Flow == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all recorded events and restarts sequence numbering.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next = 0
+}

@@ -6,6 +6,7 @@ import (
 
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
+	"idxflow/internal/provenance"
 	"idxflow/internal/telemetry"
 )
 
@@ -36,6 +37,17 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records a span per skyline run.
 	Tracer *telemetry.Tracer
+	// Provenance, when active, receives decision events from the layers
+	// that consume these options (the interleaver's placement summaries);
+	// the scheduler itself only stamps FlowID onto its spans.
+	Provenance *provenance.Recorder
+	// FlowID attributes spans and events to the dataflow being scheduled
+	// (0 = unattributed). The service sets it per submission so Chrome
+	// traces and the provenance event log share flow identifiers.
+	FlowID provenance.FlowID
+	// Now is the service time in seconds at scheduling, stamped onto
+	// provenance events emitted by consumers of these options.
+	Now float64
 }
 
 // DefaultOptions returns the Table 3 experiment configuration with a
@@ -293,6 +305,9 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 	span := sk.Opts.Tracer.StartSpan("sched.skyline").
 		SetAttr("ops", len(g.Ops())).
 		SetAttr("with_optional", withOptional)
+	if sk.Opts.FlowID != 0 {
+		span.SetAttr("flow_id", uint64(sk.Opts.FlowID))
+	}
 	defer span.End()
 	iterations := sk.Opts.Metrics.Counter("idxflow_skyline_iterations_total",
 		"Skyline list-scheduler iterations (one per operator placed).")

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"idxflow/internal/provenance"
+)
+
+// handleEvents streams the flight recorder's current contents as JSONL —
+// one header line, then one event per line — optionally filtered:
+//
+//	GET /debug/events?kind=index-adopted   only events of that kind
+//	GET /debug/events?flow=3               only events of that dataflow
+//	GET /debug/events?limit=100            only the last N matching events
+//
+// The snapshot is taken under the recorder's own lock; the server mutex is
+// not held, so a long-running submission never blocks introspection.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.svc.Provenance()
+	events := rec.Snapshot()
+
+	q := r.URL.Query()
+	if ks := q.Get("kind"); ks != "" {
+		kind, err := provenance.ParseKind(ks)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		events = filterEvents(events, func(e provenance.Event) bool { return e.Kind == kind })
+	}
+	if fs := q.Get("flow"); fs != "" {
+		id, err := strconv.ParseUint(fs, 10, 64)
+		if err != nil {
+			http.Error(w, "flow must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		events = filterEvents(events, func(e provenance.Event) bool { return e.Flow == provenance.FlowID(id) })
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := provenance.WriteLog(w, rec.NewHeader(), events); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// FlowTrace is the JSON response of /debug/flows/{id}: the complete
+// causally-ordered decision chain the tuner recorded for one dataflow.
+type FlowTrace struct {
+	Flow   provenance.FlowID  `json:"flow"`
+	Events []provenance.Event `json:"events"`
+}
+
+// handleFlow returns every event attributed to the dataflow, in causal
+// (sequence) order. 404 means the flow recorded nothing — unknown ID,
+// recording disabled, or the events already rotated out of the ring.
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "flow id must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	events := s.svc.Provenance().FlowEvents(provenance.FlowID(id))
+	if len(events) == 0 {
+		http.Error(w, "no events recorded for this flow", http.StatusNotFound)
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	writeJSON(w, http.StatusOK, FlowTrace{Flow: provenance.FlowID(id), Events: events})
+}
+
+func filterEvents(events []provenance.Event, keep func(provenance.Event) bool) []provenance.Event {
+	out := events[:0]
+	for _, e := range events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

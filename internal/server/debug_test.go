@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"idxflow/internal/core"
+	"idxflow/internal/provenance"
+	"idxflow/internal/telemetry"
+	"idxflow/internal/workload"
+)
+
+// debugServer is testServer with an enabled flight recorder wired into the
+// service, as the -events flag does in cmd/idxflow-server.
+func debugServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	db, err := workload.NewFileDB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Sched.MaxSkyline = 4
+	cfg.Sched.MaxContainers = 10
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Provenance = provenance.NewRecorder(0)
+	s := New(core.NewService(cfg, db), db)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submitFlow(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/dataflows", "text/plain", strings.NewReader(flowText(s.db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+}
+
+func getEvents(t *testing.T, url string) (provenance.Header, []provenance.Event, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return provenance.Header{}, nil, resp.StatusCode
+	}
+	h, events, err := provenance.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatalf("parse %s: %v", url, err)
+	}
+	return h, events, resp.StatusCode
+}
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	s, ts := debugServer(t)
+	submitFlow(t, s, ts)
+	submitFlow(t, s, ts)
+
+	h, events, status := getEvents(t, ts.URL+"/debug/events")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if h.Format != provenance.FormatName {
+		t.Errorf("header format = %q", h.Format)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events after two submissions")
+	}
+	if h.Total != uint64(len(events)) {
+		t.Errorf("header total %d != %d events served", h.Total, len(events))
+	}
+
+	// kind filter keeps only that kind — and both admissions are there.
+	_, admitted, _ := getEvents(t, ts.URL+"/debug/events?kind=flow-admitted")
+	if len(admitted) != 2 {
+		t.Errorf("kind=flow-admitted returned %d events, want 2", len(admitted))
+	}
+	for _, e := range admitted {
+		if e.Kind != provenance.KindFlowAdmitted {
+			t.Errorf("kind filter leaked a %s event", e.Kind)
+		}
+	}
+
+	// flow filter keeps only that dataflow's events.
+	_, flow2, _ := getEvents(t, ts.URL+"/debug/events?flow=2")
+	if len(flow2) == 0 {
+		t.Error("flow=2 returned nothing")
+	}
+	for _, e := range flow2 {
+		if e.Flow != 2 {
+			t.Errorf("flow filter leaked flow %d", e.Flow)
+		}
+	}
+
+	// limit keeps the last N events.
+	_, tail, _ := getEvents(t, ts.URL+"/debug/events?limit=3")
+	if len(tail) != 3 {
+		t.Fatalf("limit=3 returned %d events", len(tail))
+	}
+	if tail[len(tail)-1].Seq != events[len(events)-1].Seq {
+		t.Error("limit did not keep the newest events")
+	}
+
+	for _, bad := range []string{"?kind=no-such-kind", "?flow=x", "?limit=-1"} {
+		if _, _, status := getEvents(t, ts.URL+"/debug/events"+bad); status != http.StatusBadRequest {
+			t.Errorf("GET /debug/events%s: status %d, want 400", bad, status)
+		}
+	}
+}
+
+// TestDebugFlowTrace checks the acceptance property: /debug/flows/{id}
+// returns the complete decision chain for a dataflow in causal order.
+func TestDebugFlowTrace(t *testing.T) {
+	s, ts := debugServer(t)
+	submitFlow(t, s, ts)
+	submitFlow(t, s, ts)
+
+	resp, err := http.Get(ts.URL + "/debug/flows/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var trace FlowTrace
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Flow != 1 {
+		t.Errorf("trace flow = %d", trace.Flow)
+	}
+	pos := map[provenance.Kind]int{}
+	for i, e := range trace.Events {
+		if e.Flow != 1 {
+			t.Errorf("trace contains flow %d event", e.Flow)
+		}
+		if i > 0 && e.Seq <= trace.Events[i-1].Seq {
+			t.Errorf("trace not in causal order at position %d", i)
+		}
+		if _, seen := pos[e.Kind]; !seen {
+			pos[e.Kind] = i
+		}
+	}
+	// The chain is complete: admission, then the skyline choice, then the
+	// settlement — in that causal order.
+	for _, k := range []provenance.Kind{provenance.KindFlowAdmitted, provenance.KindFlowScheduled, provenance.KindMoneySettled} {
+		if _, ok := pos[k]; !ok {
+			t.Fatalf("trace missing %s event", k)
+		}
+	}
+	if !(pos[provenance.KindFlowAdmitted] < pos[provenance.KindFlowScheduled] &&
+		pos[provenance.KindFlowScheduled] < pos[provenance.KindMoneySettled]) {
+		t.Error("lifecycle events out of causal order")
+	}
+
+	for path, want := range map[string]int{
+		"/debug/flows/99": http.StatusNotFound,
+		"/debug/flows/0":  http.StatusBadRequest,
+		"/debug/flows/x":  http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestOnShutdownRunsAfterDrain checks the flush hooks fire exactly once,
+// in registration order, after the graceful drain completes.
+func TestOnShutdownRunsAfterDrain(t *testing.T) {
+	s, _ := newTestServer(t)
+	var order []string
+	s.OnShutdown(func() { order = append(order, "tracer") })
+	s.OnShutdown(func() { order = append(order, "events") })
+
+	_, cancel, done := startServe(t, s)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+	// Serve has returned, so the hooks must have run already (no races:
+	// Serve runs them before returning).
+	if len(order) != 2 || order[0] != "tracer" || order[1] != "events" {
+		t.Fatalf("shutdown hooks ran as %v, want [tracer events]", order)
+	}
+}

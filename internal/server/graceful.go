@@ -47,6 +47,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
 	}
+	// In-flight requests are done (or cut off): flush observers now so
+	// traces and event logs capture everything the drain allowed to finish.
+	s.runShutdownHooks()
 	return err
 }
 

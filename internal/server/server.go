@@ -37,6 +37,29 @@ type Server struct {
 	db  *workload.FileDB
 
 	submitted int
+	flush     []func()
+}
+
+// OnShutdown registers a hook that Serve runs after the graceful drain
+// completes — after the last in-flight submission has finished, so flushing
+// the span tracer or the flight recorder to disk sees the final state.
+// Hooks run in registration order.
+func (s *Server) OnShutdown(fn func()) {
+	s.mu.Lock()
+	s.flush = append(s.flush, fn)
+	s.mu.Unlock()
+}
+
+// runShutdownHooks executes the registered hooks once the server has
+// drained.
+func (s *Server) runShutdownHooks() {
+	s.mu.Lock()
+	hooks := s.flush
+	s.flush = nil
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // New returns a server over the given service and file database.
@@ -53,6 +76,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/flows/{id}", s.handleFlow)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

@@ -32,6 +32,7 @@ import (
 	"idxflow/internal/cloud"
 	"idxflow/internal/dataflow"
 	"idxflow/internal/fault"
+	"idxflow/internal/provenance"
 	"idxflow/internal/sched"
 	"idxflow/internal/telemetry"
 )
@@ -71,6 +72,16 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records an execution span.
 	Tracer *telemetry.Tracer
+	// Provenance, when active, receives flight-recorder events for builds
+	// killed mid-execution and faults injected/recovered. A nil or
+	// disabled recorder costs one atomic load per Execute.
+	Provenance *provenance.Recorder
+	// FlowID attributes this execution's provenance events to a dataflow.
+	FlowID provenance.FlowID
+	// ProvenanceT0 is the absolute service time this execution starts at;
+	// event times are ProvenanceT0 plus execution-relative seconds, so the
+	// log shares the service clock with every other layer.
+	ProvenanceT0 float64
 }
 
 // instruments bundles the executor's metric handles; all fields are
@@ -277,7 +288,12 @@ func resolveFaults(events []fault.Event, s *sched.Schedule) *faultState {
 				continue // container is already gone by then
 			}
 			fs.failAt[c] = e.At
-			fs.killEv[c] = e
+			// Store the resolved copy: downstream consumers (metrics,
+			// provenance events) see the concrete container, not
+			// AnyContainer.
+			ev := e
+			ev.Container = c
+			fs.killEv[c] = ev
 			fs.noStart[c] = e.At
 			if e.Kind == fault.SpotRevocation && e.NoticeSeconds > 0 {
 				fs.noStart[c] = e.At - e.NoticeSeconds
@@ -545,6 +561,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		cfg.Tracer = telemetry.DefaultTracer()
 	}
 	span := cfg.Tracer.StartSpan("sim.execute").SetAttr("ops", s.Assigned())
+	if cfg.FlowID != 0 {
+		span.SetAttr("flow_id", uint64(cfg.FlowID))
+	}
 	defer span.End()
 	ins := getInstruments(cfg.Metrics)
 	actual := cfg.Actual
@@ -595,11 +614,21 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	if len(cfg.Faults) > 0 {
 		fs = resolveFaults(cfg.Faults, s)
 	}
+	// recording is resolved once per Execute: a disabled recorder costs this
+	// single atomic load and the hot paths never construct events.
+	recording := cfg.Provenance.Active()
 	markInjected := func(e fault.Event) {
 		if !fs.seenInjected[e.Seq] {
 			fs.seenInjected[e.Seq] = true
 			res.FaultsInjected++
 			injCounter(e.Kind).Inc()
+			if recording {
+				cfg.Provenance.Append(provenance.Event{
+					Kind: provenance.KindFaultInjected, Flow: cfg.FlowID,
+					T: cfg.ProvenanceT0 + e.At, Name: e.Kind.String(),
+					Container: e.Container, Count: 1,
+				})
+			}
 		}
 	}
 	markRecovered := func(e fault.Event) {
@@ -607,11 +636,24 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		// whose failure forces three operators to move is three recoveries.
 		res.FaultsRecovered++
 		recCounter(e.Kind).Inc()
+		if recording {
+			cfg.Provenance.Append(provenance.Event{
+				Kind: provenance.KindFaultRecovered, Flow: cfg.FlowID,
+				T: cfg.ProvenanceT0 + e.At, Name: e.Kind.String(),
+				Container: e.Container, Count: 1,
+			})
+		}
 	}
 	markBoth := func(e fault.Event) { markInjected(e); markRecovered(e) }
 	recoveredSlow := func(n int) {
 		res.FaultsRecovered += n
 		recCounter(fault.Straggler).Add(float64(n))
+		if recording {
+			cfg.Provenance.Append(provenance.Event{
+				Kind: provenance.KindFaultRecovered, Flow: cfg.FlowID,
+				T: cfg.ProvenanceT0, Name: fault.Straggler.String(), Count: n,
+			})
+		}
 	}
 	addWasted := func(seconds float64) {
 		if seconds > 0 {
@@ -654,6 +696,13 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 					res.Ops[r.Op] = OpResult{Op: r.Op, Container: f.c, Start: at, End: at, Killed: true}
 					res.Killed++
 					ins.buildsKilled.Inc()
+					if recording {
+						cfg.Provenance.Append(provenance.Event{
+							Kind: provenance.KindBuildKilled, Flow: cfg.FlowID,
+							T: cfg.ProvenanceT0 + at, Op: s.Graph.Op(r.Op).Name,
+							Container: f.c, Start: at, End: at, Reason: "fault",
+						})
+					}
 				} else {
 					markRecovered(fs.killEv[f.c])
 					res.ReplacedOps++
@@ -1059,14 +1108,24 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			}
 			end := start + dur
 			r := OpResult{Op: a.Op, Container: c, Start: start}
+			killReason := ""
 			if start >= kill-timeEps {
 				r.End = start // preempted before it could run at all
 				r.Killed = true
 				res.Killed++
+				killReason = "preempted"
 			} else if end > kill+timeEps {
 				r.End = kill // stopped at preemption, expiry or failure
 				r.Killed = true
 				res.Killed++
+				switch {
+				case faultKill:
+					killReason = "fault"
+				case kill >= sc.buildKill[c]-timeEps:
+					killReason = "expired"
+				default:
+					killReason = "preempted"
+				}
 				if faultKill {
 					markInjected(fs.killEv[c])
 					addWasted(r.End - r.Start)
@@ -1078,6 +1137,13 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 			}
 			if r.Killed {
 				ins.buildsKilled.Inc()
+				if recording {
+					cfg.Provenance.Append(provenance.Event{
+						Kind: provenance.KindBuildKilled, Flow: cfg.FlowID,
+						T: cfg.ProvenanceT0 + r.Start, Op: op.Name,
+						Container: c, Start: r.Start, End: r.End, Reason: killReason,
+					})
+				}
 			} else {
 				ins.buildsCompleted.Inc()
 			}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram should return NaN")
+	}
+	h := NewRegistry().Histogram("q_empty", "", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should return NaN")
+	}
+	h.Observe(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("Quantile(%g) should be NaN", q)
+		}
+	}
+}
+
+func TestQuantileLinearInterpolation(t *testing.T) {
+	h := NewRegistry().Histogram("q_interp", "", []float64{10, 20, 30})
+	// 10 observations in (10, 20]: the median rank lands mid-bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %g, want 15 (midpoint of (10,20])", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Errorf("p100 = %g, want 20 (bucket upper)", got)
+	}
+	// First bucket interpolates from lower bound 0.
+	h2 := NewRegistry().Histogram("q_first", "", []float64{10, 20})
+	for i := 0; i < 4; i++ {
+		h2.Observe(5)
+	}
+	if got := h2.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %g, want 5 (half of first bucket)", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("q_multi", "", []float64{1, 2, 4, 8})
+	// 2 obs in (0,1], 6 in (1,2], 2 in (2,4].
+	h.Observe(0.5)
+	h.Observe(0.5)
+	for i := 0; i < 6; i++ {
+		h.Observe(1.5)
+	}
+	h.Observe(3)
+	h.Observe(3)
+	// rank(0.5)=5 → 3 into the 6-count (1,2] bucket → 1 + 3/6 = 1.5.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("p50 = %g, want 1.5", got)
+	}
+	// rank(0.9)=9 → 1 into the 2-count (2,4] bucket → 2 + 1 = 3.
+	if got := h.Quantile(0.9); math.Abs(got-3) > 1e-12 {
+		t.Errorf("p90 = %g, want 3", got)
+	}
+}
+
+func TestQuantileInfBucketClamps(t *testing.T) {
+	h := NewRegistry().Histogram("q_inf", "", []float64{1, 2})
+	h.Observe(100) // lands in +Inf bucket
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("quantile in +Inf bucket = %g, want clamp to last finite upper 2", got)
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatal("GoVersion empty")
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go-prefixed", bi.GoVersion)
+	}
+	if bi.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", bi.GOMAXPROCS)
+	}
+	if bi.Version == "" {
+		t.Error("Version empty (want a revision or devel fallback)")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "idxflow_build_info{") {
+		t.Fatalf("scrape missing idxflow_build_info:\n%s", out)
+	}
+	if !strings.Contains(out, `go_version="`+ReadBuildInfo().GoVersion+`"`) {
+		t.Errorf("scrape missing go_version label:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1") {
+		t.Errorf("build info gauge should be 1:\n%s", out)
+	}
+	// Idempotent: registering twice must not panic or duplicate.
+	RegisterBuildInfo(reg)
+}

@@ -155,6 +155,48 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket that spans the
+// target rank — the same estimate Prometheus's histogram_quantile gives.
+// The first finite bucket interpolates from a lower bound of 0; ranks that
+// land in the +Inf bucket clamp to the last finite upper bound (there is
+// no width to interpolate across). Returns NaN when the histogram is nil,
+// empty, or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.uppers) { // +Inf bucket
+			if len(h.uppers) == 0 {
+				return math.NaN()
+			}
+			return h.uppers[len(h.uppers)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.uppers[i-1]
+		}
+		if c == 0 {
+			return h.uppers[i]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (h.uppers[i]-lower)*frac
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
 // Buckets returns the upper bounds and the cumulative count at each bound,
 // ending with the +Inf bucket (whose cumulative count equals Count()).
 func (h *Histogram) Buckets() (uppers []float64, cumulative []uint64) {

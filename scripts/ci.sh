@@ -35,4 +35,16 @@ fi
 echo "== go test -race -short =="
 go test -race -short ./...
 
+# Smoke-run the sim with the flight recorder on: the run must succeed,
+# explain itself, and write a parseable provenance log (the JSONL and
+# Chrome trace land in artifacts/ for CI upload).
+echo "== provenance smoke run =="
+mkdir -p artifacts
+go run ./cmd/idxflow-sim -horizon 120 -events artifacts/events.jsonl \
+	-trace artifacts/trace.json -explain >/dev/null
+head -c 200 artifacts/events.jsonl | grep -q '"format":"idxflow-events/1"' || {
+	echo "events.jsonl missing the idxflow-events/1 header"
+	exit 1
+}
+
 echo "CI checks passed."
