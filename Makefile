@@ -57,11 +57,11 @@ bench:
 bench-short:
 	scripts/bench.sh -short /dev/null
 
-# Compare the current BENCH_PR4.json (run `make bench` first) against the
+# Compare the current BENCH_PR7.json (run `make bench` first) against the
 # committed BENCH_PR3.json baseline; fails on >15% ns/op or allocs/op
 # regression in any shared benchmark.
 bench-compare:
-	scripts/bench_compare.sh BENCH_PR4.json BENCH_PR6.json
+	scripts/bench_compare.sh BENCH_PR6.json BENCH_PR7.json
 
 # Profile the experiment driver end to end; see README "Profiling" for how
 # to read the output. PROFILE_ARGS selects the workload (default fig6).

@@ -10,10 +10,20 @@
 // flushed to their files after the drain, so decisions made by the last
 // in-flight submissions are captured.
 //
+// With -qaas the server runs the concurrent multi-tenant admission
+// pipeline instead of the sequential service: submissions carry a tenant
+// (?tenant= or X-Idxflow-Tenant), each tenant gets isolated tuning state
+// over its own deterministic database, a worker pool executes Algorithm-1
+// passes concurrently against a shared container fleet, and a full queue
+// answers HTTP 429 with Retry-After. GET /v1/qaas exposes the pipeline
+// snapshot, GET /debug/audit the accounting verdict.
+//
 // Usage:
 //
 //	idxflow-server [-addr :8080] [-strategy gain] [-seed 1] [-drain 10s]
 //	               [-trace out.json] [-events out.jsonl]
+//	               [-qaas] [-workers 8] [-queue 256] [-tenant-inflight 64]
+//	               [-fleet 64] [-pace 0] [-prov-cap 262144] [-audit]
 package main
 
 import (
@@ -26,8 +36,10 @@ import (
 	"os/signal"
 	"syscall"
 
+	"idxflow/internal/check"
 	"idxflow/internal/core"
 	"idxflow/internal/provenance"
+	"idxflow/internal/qaas"
 	"idxflow/internal/server"
 	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
@@ -41,6 +53,15 @@ func main() {
 		drain    = flag.Duration("drain", server.DefaultDrainTimeout, "in-flight request drain timeout on shutdown")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file on shutdown")
 		events   = flag.String("events", "", "write the decision-provenance event log (JSONL) to this file on shutdown; /debug/events serves it live")
+
+		qaasMode = flag.Bool("qaas", false, "serve the concurrent multi-tenant admission pipeline")
+		workers  = flag.Int("workers", 8, "qaas: concurrent Algorithm-1 executors")
+		queue    = flag.Int("queue", 256, "qaas: bounded admission queue depth")
+		tenantIn = flag.Int("tenant-inflight", 64, "qaas: per-tenant fair-share cap on in-flight admissions (-1 disables)")
+		fleet    = flag.Int("fleet", 64, "qaas: shared container fleet capacity")
+		pace     = flag.Float64("pace", 0, "qaas: wall-clock ms of container occupancy per billing quantum of makespan")
+		provCap  = flag.Int("prov-cap", 262144, "qaas: per-tenant provenance ring capacity")
+		audit    = flag.Bool("audit", true, "qaas: run check.Audit on every execution, verdict at /debug/audit")
 	)
 	flag.Parse()
 
@@ -59,18 +80,69 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := workload.NewFileDB(*seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer()
 	}
-	if *events != "" {
-		cfg.Provenance = provenance.NewRecorder(0)
+
+	var srv *server.Server
+	if *qaasMode {
+		var auditor *check.ExecAuditor
+		pcfg := qaas.Config{
+			Core:               cfg,
+			Seed:               *seed,
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			TenantInflight:     *tenantIn,
+			FleetContainers:    *fleet,
+			PaceMSPerQuantum:   *pace,
+			ProvenanceCapacity: *provCap,
+		}
+		if *audit {
+			// Exact replay holds whenever no runtime-error model or fault
+			// plan perturbs executions — true for every flag this command
+			// exposes.
+			auditor = &check.ExecAuditor{Exact: true}
+			pcfg.PostExec = auditor.Hook
+		}
+		pipe := qaas.New(pcfg)
+		srv = server.NewQaaS(pipe, auditor)
+		if *events != "" {
+			srv.OnShutdown(func() {
+				for _, t := range pipe.Tenants() {
+					path := *events + "." + t.Name()
+					rec := t.Recorder()
+					if err := writeFile(path, rec.WriteJSONL); err != nil {
+						log.Printf("idxflow-server: writing events for %s: %v", t.Name(), err)
+						continue
+					}
+					log.Printf("idxflow-server: %d events -> %s", rec.Len(), path)
+				}
+			})
+		}
+		log.Printf("idxflow-server listening on %s (qaas: %d workers, queue %d, fleet %d, strategy %s)",
+			*addr, *workers, *queue, *fleet, cfg.Strategy)
+	} else {
+		db, err := workload.NewFileDB(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *events != "" {
+			cfg.Provenance = provenance.NewRecorder(0)
+		}
+		svc := core.NewService(cfg, db)
+		srv = server.New(svc, db)
+		if *events != "" {
+			srv.OnShutdown(func() {
+				if err := writeFile(*events, cfg.Provenance.WriteJSONL); err != nil {
+					log.Printf("idxflow-server: writing events: %v", err)
+					return
+				}
+				log.Printf("idxflow-server: %d events -> %s", cfg.Provenance.Len(), *events)
+			})
+		}
+		log.Printf("idxflow-server listening on %s (strategy %s, %d tables, %d potential indexes)",
+			*addr, cfg.Strategy, len(db.Files), len(db.Catalog.IndexNames()))
 	}
-	svc := core.NewService(cfg, db)
-	srv := server.New(svc, db)
 	if *traceOut != "" {
 		srv.OnShutdown(func() {
 			if err := writeFile(*traceOut, cfg.Tracer.WriteChromeTrace); err != nil {
@@ -80,17 +152,6 @@ func main() {
 			log.Printf("idxflow-server: %d spans -> %s", cfg.Tracer.Len(), *traceOut)
 		})
 	}
-	if *events != "" {
-		srv.OnShutdown(func() {
-			if err := writeFile(*events, cfg.Provenance.WriteJSONL); err != nil {
-				log.Printf("idxflow-server: writing events: %v", err)
-				return
-			}
-			log.Printf("idxflow-server: %d events -> %s", cfg.Provenance.Len(), *events)
-		})
-	}
-	log.Printf("idxflow-server listening on %s (strategy %s, %d tables, %d potential indexes)",
-		*addr, cfg.Strategy, len(db.Files), len(db.Catalog.IndexNames()))
 
 	// SIGINT/SIGTERM cancel the context; in-flight submissions drain
 	// before the process exits instead of dying mid-execution.

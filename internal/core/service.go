@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -129,6 +130,21 @@ type Config struct {
 	// provenance.Default(), which is disabled until a -events flag enables
 	// it, so recording costs one atomic load per decision site.
 	Provenance *provenance.Recorder
+	// Reserve, when non-nil, is called with the chosen schedule's container
+	// count just before execution and must return a release function that
+	// the service invokes with the realized makespan (seconds) once the
+	// execution finishes (0 for a cancelled one). The QaaS pipeline uses it
+	// to book slots out of the shared container fleet — the only critical
+	// section concurrent admissions serialize on — and to model real-time
+	// container occupancy.
+	Reserve func(containers int) func(makespanSeconds float64)
+	// PostExec, when non-nil, observes every completed execution together
+	// with the schedule it replayed, before build commits and settlement.
+	// The QaaS audit path hooks internal/check.Audit here to verify the §3
+	// quantum/lease/money invariants on each interleaved admission. Must be
+	// safe for concurrent use when the service is driven from a worker
+	// pool.
+	PostExec func(chosen *sched.Schedule, run sim.Result)
 }
 
 // DefaultConfig returns the Table 3 configuration with the Gain strategy
@@ -184,6 +200,10 @@ type FlowResult struct {
 	ReplacedOps int
 	// WastedQuanta is paid compute discarded by faults, in quanta.
 	WastedQuanta float64
+	// Cancelled reports that the submission's context was cancelled before
+	// the execution finished: nothing was committed, charged or recorded —
+	// the flow never ran as far as the books are concerned.
+	Cancelled bool
 }
 
 // TimePoint samples the index set over time for Fig. 13.
@@ -562,6 +582,20 @@ func (s *Service) applyBatchUpdates() {
 
 // Submit processes one dataflow through Algorithm 1 and executes it.
 func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
+	return s.SubmitCtx(context.Background(), flow)
+}
+
+// SubmitCtx is Submit with cancellation: when ctx is cancelled before or
+// during the execution, the returned result has Cancelled set and the
+// execution is abandoned — no quanta are charged, no builds commit, no
+// settlement is recorded and the service clock does not advance. Tuner
+// bookkeeping that precedes the execution (gain-history append, deletions
+// due at this decision time) stands: those are Algorithm 1 decisions, not
+// effects of the cancelled run. A nil ctx means context.Background().
+func (s *Service) SubmitCtx(ctx context.Context, flow *dataflow.Flow) FlowResult {
+	if ctx != nil && ctx.Err() != nil {
+		return FlowResult{Flow: flow, Cancelled: true}
+	}
 	s.nextFlow++
 	id := s.nextFlow
 	s.curFlow = id
@@ -732,6 +766,7 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 		Faults: s.cfg.Faults.From(s.clock), Backoff: s.cfg.Backoff,
 		Metrics: s.tel, Tracer: s.tracer,
 		Provenance: s.prov, FlowID: id, ProvenanceT0: s.clock,
+		Ctx: ctx,
 	}
 	if s.cfg.RuntimeError > 0 {
 		e := s.cfg.RuntimeError
@@ -740,7 +775,27 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 			return op.Time * (1 + (rng.Float64()*2-1)*e)
 		}
 	}
+	// The fleet-reservation critical section: under the QaaS pipeline this
+	// books the schedule's containers out of the shared fleet, and the
+	// release models their occupancy for the realized makespan.
+	var release func(float64)
+	if s.cfg.Reserve != nil {
+		release = s.cfg.Reserve(chosen.Containers())
+	}
 	run := sim.Execute(chosen, cfg)
+	if run.Cancelled {
+		if release != nil {
+			release(0)
+		}
+		res.Cancelled = true
+		return res
+	}
+	if release != nil {
+		release(run.Makespan)
+	}
+	if s.cfg.PostExec != nil {
+		s.cfg.PostExec(chosen, run)
+	}
 	res.Makespan = run.Makespan
 	res.MoneyQuanta = run.MoneyQuanta
 	res.BuildsKilled = run.Killed
@@ -983,12 +1038,28 @@ func (s *Service) randomBuildOps(g *dataflow.Graph) []buildCandidate {
 // recomputed from them on each call, so the returned aggregates are
 // identical whether the flows arrived in one call or several.
 func (s *Service) Run(flows []*dataflow.Flow, horizon float64) Metrics {
+	return s.RunCtx(context.Background(), flows, horizon)
+}
+
+// RunCtx is Run with cancellation: the context is checked between flows and
+// threaded into each submission, so a cancelled batch stops cleanly at a
+// flow boundary (or mid-execution via SubmitCtx) instead of running to the
+// horizon. A cancelled submission is not counted as submitted or finished.
+// The aggregates derived for the flows that did complete are identical to
+// an uncancelled Run over that prefix.
+func (s *Service) RunCtx(ctx context.Context, flows []*dataflow.Flow, horizon float64) Metrics {
 	for _, f := range flows {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
 		if s.clock >= horizon {
 			break
 		}
+		res := s.SubmitCtx(ctx, f)
+		if res.Cancelled {
+			break
+		}
 		s.metrics.FlowsSubmitted++
-		res := s.Submit(f)
 		if res.End <= horizon {
 			s.metrics.FlowsFinished++
 			s.makespanSum += res.Makespan
@@ -1000,6 +1071,36 @@ func (s *Service) Run(flows []*dataflow.Flow, horizon float64) Metrics {
 	m := s.metrics
 	if m.FlowsFinished > 0 {
 		m.MeanMakespan = s.makespanSum / float64(m.FlowsFinished)
+	}
+	m.VMQuanta = s.vmQ
+	m.VMCost = s.vmQ * s.cfg.Sched.Pricing.VMPerQuantum
+	m.StorageCost = s.storage.CostAccrued()
+	if m.FlowsFinished > 0 {
+		m.CostPerFlow = (m.VMCost + m.StorageCost) / float64(m.FlowsFinished)
+	}
+	return m
+}
+
+// Aggregates derives the run-level Metrics for callers that drive the
+// service through Submit/SubmitCtx directly (e.g. the QaaS worker pool)
+// instead of Run. Every completed submission already appended a FlowResult
+// to Metrics.Results, so the tallies are recomputed from those: each flow
+// counts as submitted and finished, and the derived values (MeanMakespan,
+// VMCost, CostPerFlow) follow exactly as in Run. The caller must serialize
+// this with concurrent submissions to the same service.
+func (s *Service) Aggregates() Metrics {
+	m := s.metrics
+	m.FlowsSubmitted = len(m.Results)
+	m.FlowsFinished = len(m.Results)
+	m.TotalOps, m.KilledOps = 0, 0
+	sum := 0.0
+	for _, r := range m.Results {
+		m.TotalOps += r.TotalOps
+		m.KilledOps += r.BuildsKilled
+		sum += r.Makespan
+	}
+	if m.FlowsFinished > 0 {
+		m.MeanMakespan = sum / float64(m.FlowsFinished)
 	}
 	m.VMQuanta = s.vmQ
 	m.VMCost = s.vmQ * s.cfg.Sched.Pricing.VMPerQuantum

@@ -1,0 +1,128 @@
+package qaas
+
+import (
+	"sort"
+
+	"idxflow/internal/core"
+	"idxflow/internal/provenance"
+)
+
+// FleetStats snapshots the container-fleet semaphore's audit trail.
+type FleetStats struct {
+	Capacity int   `json:"capacity"`
+	InUse    int   `json:"in_use"`
+	Peak     int   `json:"peak"`
+	Reserves int64 `json:"reserves"`
+	Releases int64 `json:"releases"`
+}
+
+// Books snapshots the global money ledger.
+type Books struct {
+	Global   float64            `json:"global_quanta"`
+	ByTenant map[string]float64 `json:"by_tenant_quanta"`
+}
+
+// TenantReport is one tenant's consistent snapshot: service aggregates,
+// ledger settlement and the full provenance log, all taken under the
+// tenant lock so they agree with each other. The JSON view (served at
+// /v1/qaas) carries only the scalar summary; Metrics and Events are
+// in-process audit inputs — per-flow results and event logs would dwarf
+// the response at load-test scale.
+type TenantReport struct {
+	Tenant string `json:"tenant"`
+	// Admitted counts completed admissions for this tenant.
+	Admitted int64 `json:"admitted"`
+	// Settled is the tenant's total from the global ledger, in quanta.
+	Settled float64 `json:"settled_quanta"`
+	// FlowsFinished, VMQuanta and MeanMakespan mirror the same fields of
+	// Metrics for JSON consumers.
+	FlowsFinished int     `json:"flows_finished"`
+	VMQuanta      float64 `json:"vm_quanta"`
+	MeanMakespan  float64 `json:"mean_makespan_seconds"`
+	// Metrics is core.Service.Aggregates() — its VMQuanta must equal
+	// Settled (check.AuditQaaS invariant qaas-tenant-books).
+	Metrics core.Metrics `json:"-"`
+	// Events is the tenant's provenance log, for check.AuditProvenance.
+	Events []provenance.Event `json:"-"`
+	// ProvenanceDropped reports ring overwrites; non-zero means the
+	// per-tenant log wrapped and is unsound for auditing.
+	ProvenanceDropped uint64 `json:"provenance_dropped"`
+}
+
+// Report is a pipeline-wide snapshot for auditing and the /v1/qaas
+// endpoint.
+type Report struct {
+	Tenants []TenantReport `json:"tenants"`
+	Fleet   FleetStats     `json:"fleet"`
+	Books   Books          `json:"books"`
+	// InFlight counts admissions queued or executing at snapshot time;
+	// the fleet/books invariants are only exact when it is zero.
+	InFlight int64 `json:"in_flight"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	// QueueDepth is the queued (not yet executing) admission count.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Tenants returns every instantiated tenant, sorted by name.
+func (p *Pipeline) Tenants() []*Tenant {
+	var out []*Tenant
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tenants {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Report snapshots every tenant (sorted by name), the fleet and the books.
+// Each tenant's aggregates and provenance log are captured under its lock,
+// so a concurrently executing admission is either fully in or fully out of
+// its tenant's snapshot; use InFlight to tell whether the global books can
+// be balanced exactly.
+func (p *Pipeline) Report() Report {
+	var names []string
+	byName := make(map[string]*Tenant)
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for n, t := range sh.tenants {
+			names = append(names, n)
+			byName[n] = t
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+
+	books := p.ledger.books()
+	r := Report{
+		Fleet:      p.fleet.stats(),
+		Books:      books,
+		InFlight:   p.inFlight.Load(),
+		Admitted:   p.admitted.Load(),
+		Rejected:   p.rejected.Load(),
+		QueueDepth: len(p.queue),
+	}
+	for _, n := range names {
+		t := byName[n]
+		t.mu.Lock()
+		m := t.svc.Aggregates()
+		ev := t.prov.Snapshot()
+		dropped := t.prov.Dropped()
+		t.mu.Unlock()
+		r.Tenants = append(r.Tenants, TenantReport{
+			Tenant:            n,
+			Admitted:          t.admitted.Load(),
+			Settled:           books.ByTenant[n],
+			FlowsFinished:     m.FlowsFinished,
+			VMQuanta:          m.VMQuanta,
+			MeanMakespan:      m.MeanMakespan,
+			Metrics:           m,
+			Events:            ev,
+			ProvenanceDropped: dropped,
+		})
+	}
+	return r
+}

@@ -18,7 +18,12 @@ import (
 // The snapshot is taken under the recorder's own lock; the server mutex is
 // not held, so a long-running submission never blocks introspection.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	rec := s.svc.Provenance()
+	serveEvents(w, r, s.svc.Provenance())
+}
+
+// serveEvents renders one recorder's filtered snapshot; shared by the
+// sequential handler and the tenant-scoped QaaS handler.
+func serveEvents(w http.ResponseWriter, r *http.Request, rec *provenance.Recorder) {
 	events := rec.Snapshot()
 
 	q := r.URL.Query()
@@ -66,12 +71,18 @@ type FlowTrace struct {
 // (sequence) order. 404 means the flow recorded nothing — unknown ID,
 // recording disabled, or the events already rotated out of the ring.
 func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	serveFlowTrace(w, r, s.svc.Provenance())
+}
+
+// serveFlowTrace renders one flow's causally-ordered decision chain from
+// the given recorder.
+func serveFlowTrace(w http.ResponseWriter, r *http.Request, rec *provenance.Recorder) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil || id == 0 {
 		http.Error(w, "flow id must be a positive integer", http.StatusBadRequest)
 		return
 	}
-	events := s.svc.Provenance().FlowEvents(provenance.FlowID(id))
+	events := rec.FlowEvents(provenance.FlowID(id))
 	if len(events) == 0 {
 		http.Error(w, "no events recorded for this flow", http.StatusNotFound)
 		return

@@ -47,6 +47,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
 	}
+	// In QaaS mode the HTTP drain only settles the request handlers; the
+	// admission pipeline may still hold queued work whose submitters
+	// disconnected. Complete it before flushing observers so the final
+	// books and event logs are quiescent.
+	if s.pipe != nil {
+		if derr := s.pipe.Drain(dctx); derr != nil && err == nil {
+			err = derr
+		}
+	}
 	// In-flight requests are done (or cut off): flush observers now so
 	// traces and event logs capture everything the drain allowed to finish.
 	s.runShutdownHooks()

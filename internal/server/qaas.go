@@ -1,0 +1,219 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"idxflow/internal/check"
+	"idxflow/internal/core"
+	"idxflow/internal/flowlang"
+	"idxflow/internal/qaas"
+	"idxflow/internal/workload"
+)
+
+// TenantHeader carries the tenant identifier when the ?tenant= query
+// parameter is absent.
+const TenantHeader = "X-Idxflow-Tenant"
+
+// DefaultTenant is used when a request names no tenant at all, so
+// single-tenant clients keep working unchanged against a QaaS server.
+const DefaultTenant = "default"
+
+// tenantOf resolves the request's tenant: ?tenant= wins, then the
+// X-Idxflow-Tenant header, then "default".
+func tenantOf(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// BackpressureResponse is the 429 body for rejected admissions.
+type BackpressureResponse struct {
+	Error             string  `json:"error"`
+	Reason            string  `json:"reason"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+}
+
+// handleSubmitQaaS admits one dataflow through the concurrent pipeline and
+// blocks until its Algorithm-1 pass completes. Backpressure surfaces as
+// HTTP 429 with a Retry-After header (whole seconds, rounded up per RFC
+// 9110); a client that disconnects while queued gets its execution
+// abandoned uncharged.
+func (s *Server) handleSubmitQaaS(w http.ResponseWriter, r *http.Request) {
+	flow, err := flowlang.Parse(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tenant := tenantOf(r)
+	res, err := s.pipe.Submit(r.Context(), tenant, flow)
+	var bp *qaas.BackpressureError
+	switch {
+	case errors.As(err, &bp):
+		secs := int(math.Ceil(bp.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, BackpressureResponse{
+			Error:             bp.Error(),
+			Reason:            bp.Reason,
+			RetryAfterSeconds: bp.RetryAfter.Seconds(),
+		})
+		return
+	case err != nil:
+		// Context cancellation (client gone) or tenant bootstrap failure.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	s.submitted++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		Flow:            res.Flow.Name,
+		StartSeconds:    res.Start,
+		EndSeconds:      res.End,
+		MakespanSeconds: res.Makespan,
+		MoneyQuanta:     res.MoneyQuanta,
+		IndexesUsed:     orEmpty(res.IndexesUsed),
+		BuildsCompleted: res.BuildsCompleted,
+		BuildsKilled:    res.BuildsKilled,
+		IndexesDeleted:  orEmpty(res.Deleted),
+	})
+}
+
+// tenant resolves the request's tenant state, writing the error response
+// itself on failure.
+func (s *Server) tenant(w http.ResponseWriter, r *http.Request) (*qaas.Tenant, bool) {
+	t, err := s.pipe.Tenant(tenantOf(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) handleIndexesQaaS(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	onlyAvailable := r.URL.Query().Get("available") == "true"
+	var out []IndexInfo
+	t.Do(func(svc *core.Service, db *workload.FileDB) {
+		out = indexInfos(svc.Catalog(), onlyAvailable)
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// QaaSMetricsResponse is the tenant-scoped /v1/metrics view in QaaS mode.
+type QaaSMetricsResponse struct {
+	Tenant           string  `json:"tenant"`
+	ClockSeconds     float64 `json:"clock_seconds"`
+	Admitted         int64   `json:"dataflows_admitted"`
+	IndexesAvailable int     `json:"indexes_available"`
+	IndexStorageMB   float64 `json:"index_storage_mb"`
+	VMQuanta         float64 `json:"vm_quanta"`
+}
+
+func (s *Server) handleMetricsQaaS(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	resp := QaaSMetricsResponse{Tenant: t.Name(), Admitted: t.Admitted()}
+	t.Do(func(svc *core.Service, db *workload.FileDB) {
+		resp.ClockSeconds = svc.Clock()
+		resp.IndexesAvailable = len(svc.Catalog().AvailableSet())
+		resp.IndexStorageMB = svc.Catalog().BuiltSizeMB()
+		resp.VMQuanta = svc.Aggregates().VMQuanta
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTablesQaaS(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	out := []TableInfo{}
+	t.Do(func(svc *core.Service, db *workload.FileDB) {
+		for _, f := range db.Files {
+			out = append(out, TableInfo{
+				Name:       f.Table.Name,
+				Partitions: len(f.Table.Partitions),
+				Records:    f.Table.NumRecords(),
+				SizeMB:     f.Table.SizeMB(),
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEventsQaaS(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	serveEvents(w, r, t.Recorder())
+}
+
+func (s *Server) handleFlowQaaS(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	serveFlowTrace(w, r, t.Recorder())
+}
+
+// handleQaaSReport exposes the pipeline-wide snapshot: queue depth, fleet
+// occupancy, global and per-tenant books, admission counters.
+func (s *Server) handleQaaSReport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pipe.Report())
+}
+
+// AuditResponse is the /debug/audit verdict.
+type AuditResponse struct {
+	Clean      bool     `json:"clean"`
+	Violations []string `json:"violations"`
+	// Executions is how many executions the in-line auditor has checked
+	// (-1 when no auditor is installed).
+	Executions int   `json:"executions"`
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected"`
+	InFlight   int64 `json:"in_flight"`
+}
+
+// handleAudit runs check.AuditQaaS on a fresh pipeline snapshot, merges
+// the in-line execution auditor's verdict, and reports every violation.
+// The books are only exactly balanced when nothing is in flight; run it
+// against a quiesced (or drained) pipeline for a binding verdict.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	rep := s.pipe.Report()
+	resp := AuditResponse{
+		Clean:      true,
+		Violations: []string{},
+		Executions: -1,
+		Admitted:   rep.Admitted,
+		Rejected:   rep.Rejected,
+		InFlight:   rep.InFlight,
+	}
+	if err := check.AuditQaaS(rep); err != nil {
+		resp.Clean = false
+		resp.Violations = append(resp.Violations, err.Error())
+	}
+	if s.auditor != nil {
+		resp.Executions = s.auditor.Executions()
+		if err := s.auditor.Err(); err != nil {
+			resp.Clean = false
+			resp.Violations = append(resp.Violations, err.Error())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

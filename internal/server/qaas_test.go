@@ -1,0 +1,304 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idxflow/internal/check"
+	"idxflow/internal/core"
+	"idxflow/internal/flowlang"
+	"idxflow/internal/qaas"
+	"idxflow/internal/telemetry"
+	"idxflow/internal/workload"
+)
+
+// testQaaSServer builds a QaaS-mode server over a small pipeline. mutate
+// tweaks the pipeline config before construction.
+func testQaaSServer(t *testing.T, mutate func(*qaas.Config)) (*qaas.Pipeline, *check.ExecAuditor, *httptest.Server) {
+	t.Helper()
+	cc := core.DefaultConfig()
+	cc.Sched.MaxSkyline = 4
+	cc.Sched.MaxContainers = 8
+	cc.MaxBuildOps = 16
+	cc.Gain.WindowW = 30
+	cc.Gain.FadeD = 30
+	cc.Telemetry = telemetry.NewRegistry()
+	auditor := &check.ExecAuditor{Exact: true}
+	cfg := qaas.Config{
+		Core:            cc,
+		Seed:            1,
+		Workers:         2,
+		QueueDepth:      16,
+		FleetContainers: 16,
+		PostExec:        auditor.Hook,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p := qaas.New(cfg)
+	srv := NewQaaS(p, auditor)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return p, auditor, ts
+}
+
+// tenantFlows crafts n flowlang bodies for the tenant, client-side, from
+// the same deterministic database the server instantiates for it.
+func tenantFlows(t *testing.T, seed int64, tenant string, n int) []string {
+	t.Helper()
+	db, err := workload.NewFileDB(qaas.TenantSeed(seed, tenant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(db, qaas.TenantSeed(seed, tenant))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = flowlang.Marshal(gen.Flow(workload.Montage, i, 0))
+	}
+	return out
+}
+
+func postFlow(ts *httptest.Server, tenant, body string) (*http.Response, error) {
+	return http.Post(ts.URL+"/v1/dataflows?tenant="+tenant, "text/plain", strings.NewReader(body))
+}
+
+func TestQaaSSubmitAndTenantIsolation(t *testing.T) {
+	_, _, ts := testQaaSServer(t, nil)
+
+	for _, body := range tenantFlows(t, 1, "alice", 6) {
+		resp, err := postFlow(ts, "alice", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit status = %d", resp.StatusCode)
+		}
+		var sr SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if sr.MakespanSeconds <= 0 {
+			t.Fatalf("empty result: %+v", sr)
+		}
+	}
+
+	var aliceIdx []IndexInfo
+	getJSON(t, ts.URL+"/v1/indexes?tenant=alice&available=true", &aliceIdx)
+	if len(aliceIdx) == 0 {
+		t.Fatal("tenant alice adopted no indexes after 6 montage flows")
+	}
+
+	// Tenant bob shares the process but none of alice's tuning state.
+	var bobIdx []IndexInfo
+	getJSON(t, ts.URL+"/v1/indexes?tenant=bob&available=true", &bobIdx)
+	if len(bobIdx) != 0 {
+		t.Errorf("tenant bob sees %d of alice's indexes", len(bobIdx))
+	}
+	var bobMetrics QaaSMetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics?tenant=bob", &bobMetrics)
+	if bobMetrics.Admitted != 0 || bobMetrics.VMQuanta != 0 {
+		t.Errorf("tenant bob has activity: %+v", bobMetrics)
+	}
+
+	// The tenant's tables and per-flow decision traces resolve against its
+	// own database and provenance log.
+	var tables []TableInfo
+	getJSON(t, ts.URL+"/v1/tables?tenant=alice", &tables)
+	if len(tables) == 0 {
+		t.Error("tenant alice has no tables")
+	}
+	var trace struct {
+		Flow   int `json:"flow"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	getJSON(t, ts.URL+"/debug/flows/1?tenant=alice", &trace)
+	if trace.Flow != 1 || len(trace.Events) == 0 {
+		t.Errorf("flow 1 trace empty: flow=%d events=%d", trace.Flow, len(trace.Events))
+	}
+	if resp, err := http.Get(ts.URL + "/debug/flows/9999?tenant=alice"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown flow status = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// The header route resolves the same way as the query parameter.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
+	req.Header.Set(TenantHeader, "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aliceMetrics QaaSMetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&aliceMetrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if aliceMetrics.Tenant != "alice" || aliceMetrics.Admitted != 6 {
+		t.Errorf("header-scoped metrics = %+v, want tenant alice with 6 admissions", aliceMetrics)
+	}
+}
+
+func TestQaaSBackpressure429(t *testing.T) {
+	p, _, ts := testQaaSServer(t, func(cfg *qaas.Config) {
+		cfg.Workers = 1
+		cfg.QueueDepth = 1
+		cfg.TenantInflight = -1
+		// Pace executions so the worker is demonstrably busy while the
+		// queue fills: ~60ms wall per quantum of makespan.
+		cfg.PaceMSPerQuantum = 60
+		cfg.RetryAfter = 2 * time.Second
+	})
+
+	flows := tenantFlows(t, 1, "hot", 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one executing + one queued
+		body := flows[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := postFlow(ts, "hot", body)
+			if err != nil {
+				t.Errorf("paced submit: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("paced submit status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := postFlow(ts, "hot", flows[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	var br BackpressureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Reason != "queue-full" {
+		t.Errorf("reason = %q, want queue-full", br.Reason)
+	}
+	wg.Wait()
+}
+
+// TestQaaSConcurrentSubmissionsAndDebugEvents drives concurrent
+// submissions across tenants while hammering the introspection endpoints
+// mid-run — the -race coverage for the tenant-scoped read paths — then
+// requires a clean /debug/audit verdict.
+func TestQaaSConcurrentSubmissionsAndDebugEvents(t *testing.T) {
+	_, auditor, ts := testQaaSServer(t, func(cfg *qaas.Config) {
+		cfg.Workers = 4
+		cfg.QueueDepth = 32
+	})
+
+	tenants := []string{"t0", "t1", "t2"}
+	perTenant := 4
+	if testing.Short() {
+		perTenant = 2
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // introspection load, concurrent with submissions
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, u := range []string{
+				"/debug/events?tenant=t0",
+				"/debug/events?tenant=t1&kind=money-settled",
+				"/v1/qaas",
+				"/metrics",
+				"/v1/indexes?tenant=t2",
+			} {
+				resp, err := http.Get(ts.URL + u)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		for _, body := range tenantFlows(t, 1, tn, perTenant) {
+			tn, body := tn, body
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := postFlow(ts, tn, body)
+				if err != nil {
+					t.Errorf("tenant %s: %v", tn, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("tenant %s: status %d", tn, resp.StatusCode)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var audit AuditResponse
+	getJSON(t, ts.URL+"/debug/audit", &audit)
+	if !audit.Clean {
+		t.Errorf("audit not clean: %+v", audit.Violations)
+	}
+	if want := int64(len(tenants) * perTenant); audit.Admitted != want {
+		t.Errorf("admitted = %d, want %d", audit.Admitted, want)
+	}
+	if audit.Executions != int(audit.Admitted) {
+		t.Errorf("in-line auditor saw %d executions, admitted %d", audit.Executions, audit.Admitted)
+	}
+	if got := auditor.Executions(); got != int(audit.Admitted) {
+		t.Errorf("auditor executions = %d, want %d", got, audit.Admitted)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

@@ -25,16 +25,29 @@ import (
 	"net/http"
 	"sync"
 
+	"idxflow/internal/check"
 	"idxflow/internal/core"
+	"idxflow/internal/data"
 	"idxflow/internal/flowlang"
+	"idxflow/internal/qaas"
+	"idxflow/internal/telemetry"
 	"idxflow/internal/workload"
 )
 
-// Server wraps a core.Service with an HTTP API.
+// Server wraps a core.Service (sequential mode) or a qaas.Pipeline
+// (concurrent multi-tenant mode) with an HTTP API.
 type Server struct {
 	mu  sync.Mutex
 	svc *core.Service
 	db  *workload.FileDB
+
+	// pipe, when non-nil, puts the server in QaaS mode: submissions flow
+	// through the concurrent admission pipeline, state endpoints are
+	// tenant-scoped (?tenant= or X-Idxflow-Tenant), and Serve drains the
+	// pipeline after the HTTP drain. auditor optionally collects a
+	// per-execution check.Audit verdict surfaced at /debug/audit.
+	pipe    *qaas.Pipeline
+	auditor *check.ExecAuditor
 
 	submitted int
 	flush     []func()
@@ -67,22 +80,49 @@ func New(svc *core.Service, db *workload.FileDB) *Server {
 	return &Server{svc: svc, db: db}
 }
 
+// NewQaaS returns a server in concurrent multi-tenant mode over the given
+// pipeline. auditor may be nil; when set, every execution is audited via
+// the pipeline's PostExec hook and /debug/audit reports the verdict.
+func NewQaaS(p *qaas.Pipeline, auditor *check.ExecAuditor) *Server {
+	return &Server{pipe: p, auditor: auditor}
+}
+
+// telemetry returns the registry backing /metrics in either mode.
+func (s *Server) telemetry() *telemetry.Registry {
+	if s.pipe != nil {
+		return s.pipe.Telemetry()
+	}
+	return s.svc.Telemetry()
+}
+
 // Handler returns the HTTP handler with all routes mounted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/dataflows", s.handleSubmit)
-	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/tables", s.handleTables)
+	if s.pipe != nil {
+		mux.HandleFunc("POST /v1/dataflows", s.handleSubmitQaaS)
+		mux.HandleFunc("GET /v1/indexes", s.handleIndexesQaaS)
+		mux.HandleFunc("GET /v1/metrics", s.handleMetricsQaaS)
+		mux.HandleFunc("GET /v1/tables", s.handleTablesQaaS)
+		mux.HandleFunc("GET /v1/qaas", s.handleQaaSReport)
+		mux.HandleFunc("GET /metrics.json", s.handleMetricsQaaS)
+		mux.HandleFunc("GET /debug/events", s.handleEventsQaaS)
+		mux.HandleFunc("GET /debug/flows/{id}", s.handleFlowQaaS)
+		mux.HandleFunc("GET /debug/audit", s.handleAudit)
+	} else {
+		mux.HandleFunc("POST /v1/dataflows", s.handleSubmit)
+		mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+		mux.HandleFunc("GET /v1/tables", s.handleTables)
+		mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+		mux.HandleFunc("GET /debug/events", s.handleEvents)
+		mux.HandleFunc("GET /debug/flows/{id}", s.handleFlow)
+	}
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
-	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
-	mux.HandleFunc("GET /debug/events", s.handleEvents)
-	mux.HandleFunc("GET /debug/flows/{id}", s.handleFlow)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	reqs := s.svc.Telemetry().CounterVec("idxflow_http_requests_total",
+	reqs := s.telemetry().CounterVec("idxflow_http_requests_total",
 		"HTTP requests served, by route pattern.", "route")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern != "" {
@@ -99,7 +139,7 @@ func (s *Server) Handler() http.Handler {
 // no server lock is taken and scrapes cannot delay submissions.
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.svc.Telemetry().WritePrometheus(w); err != nil {
+	if err := s.telemetry().WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -156,11 +196,10 @@ type IndexInfo struct {
 	BuiltFraction float64 `json:"built_fraction"`
 }
 
-func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	cat := s.svc.Catalog()
-	var out []IndexInfo
-	onlyAvailable := r.URL.Query().Get("available") == "true"
+// indexInfos renders the catalog's index states; the caller holds
+// whatever lock guards the catalog.
+func indexInfos(cat *data.Catalog, onlyAvailable bool) []IndexInfo {
+	out := []IndexInfo{}
 	for _, name := range cat.IndexNames() {
 		st := cat.State(name)
 		if onlyAvailable && st.BuiltCount() == 0 {
@@ -177,10 +216,14 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			BuiltFraction: st.BuiltFraction(),
 		})
 	}
+	return out
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	onlyAvailable := r.URL.Query().Get("available") == "true"
+	s.mu.Lock()
+	out := indexInfos(s.svc.Catalog(), onlyAvailable)
 	s.mu.Unlock()
-	if out == nil {
-		out = []IndexInfo{}
-	}
 	writeJSON(w, http.StatusOK, out)
 }
 

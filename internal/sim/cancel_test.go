@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"idxflow/internal/dataflow"
+	"idxflow/internal/sched"
+)
+
+func TestExecutePreCancelledContext(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := cfg()
+	c.Ctx = ctx
+	res := Execute(s, c)
+	if !res.Cancelled {
+		t.Fatal("pre-cancelled context: Cancelled = false")
+	}
+	if res.Makespan != 0 || res.MoneyQuanta != 0 || len(res.Ops) != 0 {
+		t.Errorf("cancelled result carries effects: %+v", res)
+	}
+}
+
+func TestExecuteCancelledMidRun(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	b := g.Add(dataflow.Operator{Name: "b", Time: 10})
+	if err := g.Connect(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+	s.Append(b, 0, -1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := cfg()
+	c.Ctx = ctx
+	// Cancel from inside the first operator's runtime callback: the
+	// executor must notice before starting the successor.
+	c.Actual = func(op *dataflow.Operator) float64 {
+		if op.Name == "a" {
+			cancel()
+		}
+		return op.Time
+	}
+	res := Execute(s, c)
+	if !res.Cancelled {
+		t.Fatal("mid-run cancel: Cancelled = false")
+	}
+	if res.MoneyQuanta != 0 {
+		t.Errorf("cancelled run charged %g quanta", res.MoneyQuanta)
+	}
+}
+
+func TestExecuteNilContextRunsToCompletion(t *testing.T) {
+	g := dataflow.New()
+	a := g.Add(dataflow.Operator{Name: "a", Time: 10})
+	o := schedOpts()
+	s := sched.NewSchedule(g, o.Pricing, o.Spec)
+	s.Append(a, 0, -1)
+
+	res := Execute(s, cfg())
+	if res.Cancelled {
+		t.Fatal("nil context run reported Cancelled")
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %g, want > 0", res.Makespan)
+	}
+}

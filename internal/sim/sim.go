@@ -25,6 +25,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -82,6 +83,11 @@ type Config struct {
 	// event times are ProvenanceT0 plus execution-relative seconds, so the
 	// log shares the service clock with every other layer.
 	ProvenanceT0 float64
+	// Ctx, when non-nil, lets the caller cancel the replay: the event loops
+	// poll it and a cancelled execution returns Result{Cancelled: true}
+	// with no other fields populated, so a drained admission stops cleanly
+	// instead of running to completion. Nil means never cancelled.
+	Ctx context.Context
 }
 
 // instruments bundles the executor's metric handles; all fields are
@@ -197,6 +203,10 @@ type Result struct {
 	// WastedQuanta is paid compute the faults discarded, in quanta:
 	// partial runs of killed operators plus lease time past a failure.
 	WastedQuanta float64
+	// Cancelled reports that Config.Ctx was cancelled mid-replay. A
+	// cancelled result carries no other data: the execution never happened
+	// as far as accounting is concerned.
+	Cancelled bool
 }
 
 // slowTimeline is one container's straggler events, At-ascending, with a
@@ -565,6 +575,24 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 		span.SetAttr("flow_id", uint64(cfg.FlowID))
 	}
 	defer span.End()
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if cancelled() {
+		return Result{Cancelled: true}
+	}
 	ins := getInstruments(cfg.Metrics)
 	actual := cfg.Actual
 	if actual == nil {
@@ -849,6 +877,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	}
 
 	for remaining > 0 {
+		if cancelled() {
+			return Result{Cancelled: true}
+		}
 		if len(sc.heap) == 0 {
 			// Unreachable for DAGs (Connect rejects cycles); force the
 			// lowest-ID unfinished op so the loop cannot livelock.
@@ -1045,6 +1076,9 @@ func Execute(s *sched.Schedule, cfg Config) Result {
 	// stopped by the next dataflow operator's realized start, a re-placed
 	// arrival, the container's failure, or the lease end.
 	for _, gr := range sc.groups {
+		if cancelled() {
+			return Result{Cancelled: true}
+		}
 		c := gr.c
 		as := assigns[gr.lo:gr.hi]
 		if fs != nil {

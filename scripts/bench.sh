@@ -4,7 +4,7 @@
 # across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          full run (default BENCH_PR6.json)
+#   scripts/bench.sh [output.json]          full run (default BENCH_PR7.json)
 #   scripts/bench.sh -short [output.json]   single-iteration smoke run for CI
 set -eu
 
@@ -15,7 +15,7 @@ if [ "${1:-}" = "-short" ]; then
 	MODE=short
 	shift
 fi
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 
 if [ "$MODE" = "short" ]; then
 	# One iteration per benchmark: proves they all still run without

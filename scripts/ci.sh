@@ -47,4 +47,9 @@ head -c 200 artifacts/events.jsonl | grep -q '"format":"idxflow-events/1"' || {
 	exit 1
 }
 
+# End-to-end QaaS smoke: race-built server, concurrent multi-tenant burst,
+# clean accounting audit required.
+echo "== loadgen smoke =="
+scripts/loadgen_smoke.sh
+
 echo "CI checks passed."
