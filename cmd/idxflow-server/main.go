@@ -23,7 +23,8 @@
 //	idxflow-server [-addr :8080] [-strategy gain] [-seed 1] [-drain 10s]
 //	               [-trace out.json] [-events out.jsonl]
 //	               [-qaas] [-workers 8] [-queue 256] [-tenant-inflight 64]
-//	               [-fleet 64] [-pace 0] [-prov-cap 262144] [-audit]
+//	               [-max-tenants 256] [-fleet 64] [-pace 0]
+//	               [-prov-cap 262144] [-audit]
 package main
 
 import (
@@ -58,6 +59,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "qaas: concurrent Algorithm-1 executors")
 		queue    = flag.Int("queue", 256, "qaas: bounded admission queue depth")
 		tenantIn = flag.Int("tenant-inflight", 64, "qaas: per-tenant fair-share cap on in-flight admissions (-1 disables)")
+		maxTen   = flag.Int("max-tenants", qaas.DefaultMaxTenants, "qaas: cap on distinct tenants a server instantiates (-1 disables)")
 		fleet    = flag.Int("fleet", 64, "qaas: shared container fleet capacity")
 		pace     = flag.Float64("pace", 0, "qaas: wall-clock ms of container occupancy per billing quantum of makespan")
 		provCap  = flag.Int("prov-cap", 262144, "qaas: per-tenant provenance ring capacity")
@@ -93,6 +95,7 @@ func main() {
 			Workers:            *workers,
 			QueueDepth:         *queue,
 			TenantInflight:     *tenantIn,
+			MaxTenants:         *maxTen,
 			FleetContainers:    *fleet,
 			PaceMSPerQuantum:   *pace,
 			ProvenanceCapacity: *provCap,

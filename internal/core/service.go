@@ -588,10 +588,15 @@ func (s *Service) Submit(flow *dataflow.Flow) FlowResult {
 // SubmitCtx is Submit with cancellation: when ctx is cancelled before or
 // during the execution, the returned result has Cancelled set and the
 // execution is abandoned — no quanta are charged, no builds commit, no
-// settlement is recorded and the service clock does not advance. Tuner
-// bookkeeping that precedes the execution (gain-history append, deletions
-// due at this decision time) stands: those are Algorithm 1 decisions, not
-// effects of the cancelled run. A nil ctx means context.Background().
+// settlement is recorded and the realized makespan never advances the
+// clock. Decision-time bookkeeping that precedes the execution stands:
+// the IssuedAt clock catch-up, batch updates due at that clock, the
+// gain-history append, deletions due at this decision time, and the
+// admission/scheduling provenance events (FlowAdmitted, FlowScheduled,
+// BuildPlaced) already recorded for the flow — those are Algorithm 1
+// decisions, not effects of the cancelled run, so a cancelled flow can
+// leave events in the log without appearing in any result set. A nil ctx
+// means context.Background().
 func (s *Service) SubmitCtx(ctx context.Context, flow *dataflow.Flow) FlowResult {
 	if ctx != nil && ctx.Err() != nil {
 		return FlowResult{Flow: flow, Cancelled: true}

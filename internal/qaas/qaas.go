@@ -24,6 +24,7 @@ package qaas
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -47,7 +48,41 @@ const (
 	DefaultTenantInflight = 32
 	DefaultFleet          = 64
 	DefaultRetryAfter     = time.Second
+	DefaultMaxTenants     = 256
 )
+
+// MaxTenantNameLen bounds tenant identifiers; see ValidateTenantName.
+const MaxTenantNameLen = 64
+
+// ErrTenantName reports a tenant identifier that is empty, too long, or
+// holds characters outside [A-Za-z0-9._-].
+var ErrTenantName = errors.New("invalid tenant name")
+
+// ErrTenantCapacity reports that MaxTenants distinct tenants already
+// exist and no further one may be instantiated. Tenant names come from
+// untrusted request input; without this cap a client could exhaust server
+// memory by varying the tenant string.
+var ErrTenantCapacity = errors.New("tenant capacity reached")
+
+// ValidateTenantName enforces the tenant-identifier grammar: 1 to
+// MaxTenantNameLen characters from [A-Za-z0-9._-]. Tenant names arrive in
+// URLs, metric labels and per-tenant file suffixes, so the charset stays
+// conservative.
+func ValidateTenantName(name string) error {
+	if name == "" || len(name) > MaxTenantNameLen {
+		return fmt.Errorf("%w: must be 1..%d characters, got %d", ErrTenantName, MaxTenantNameLen, len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: byte %q not in [A-Za-z0-9._-]", ErrTenantName, c)
+		}
+	}
+	return nil
+}
 
 // Config parameterizes the pipeline.
 type Config struct {
@@ -72,6 +107,12 @@ type Config struct {
 	// executing admissions (default 32); exceeding it rejects with
 	// reason "tenant-limit". Negative disables the cap.
 	TenantInflight int
+	// MaxTenants caps how many distinct tenants may be instantiated
+	// (default 256); Tenant fails with ErrTenantCapacity beyond it.
+	// Tenant names arrive from untrusted requests and each tenant holds a
+	// full file database, service and provenance ring, so the cap bounds
+	// the memory a hostile client can allocate. Negative disables it.
+	MaxTenants int
 	// FleetContainers is the global container fleet capacity shared by
 	// all tenants (default 64).
 	FleetContainers int
@@ -170,9 +211,10 @@ type Pipeline struct {
 	workers  sync.WaitGroup
 	closeq   sync.Once
 
-	inFlight atomic.Int64
-	admitted atomic.Int64
-	rejected atomic.Int64
+	inFlight    atomic.Int64
+	admitted    atomic.Int64
+	rejected    atomic.Int64
+	tenantCount atomic.Int64
 
 	// execOverride replaces the worker's execution step in unit tests
 	// that need controllable timing without running the real tuner.
@@ -193,6 +235,9 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.TenantInflight == 0 {
 		cfg.TenantInflight = DefaultTenantInflight
+	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = DefaultMaxTenants
 	}
 	if cfg.FleetContainers <= 0 {
 		cfg.FleetContainers = DefaultFleet
@@ -272,7 +317,13 @@ func (p *Pipeline) shardFor(name string) *shard {
 
 // Tenant returns tenant name's state, instantiating it on first use
 // (striped lock: only the owning shard is write-locked during creation).
+// The name must pass ValidateTenantName, and creation beyond MaxTenants
+// fails with ErrTenantCapacity — both guard against untrusted request
+// input allocating unbounded per-tenant state.
 func (p *Pipeline) Tenant(name string) (*Tenant, error) {
+	if err := ValidateTenantName(name); err != nil {
+		return nil, err
+	}
 	sh := p.shardFor(name)
 	sh.mu.RLock()
 	t := sh.tenants[name]
@@ -285,13 +336,31 @@ func (p *Pipeline) Tenant(name string) (*Tenant, error) {
 	if t := sh.tenants[name]; t != nil {
 		return t, nil
 	}
+	// Atomic reserve-then-check keeps the cap exact even when shards
+	// create tenants concurrently.
+	if max := p.cfg.MaxTenants; max > 0 && p.tenantCount.Add(1) > int64(max) {
+		p.tenantCount.Add(-1)
+		return nil, fmt.Errorf("%w (max %d)", ErrTenantCapacity, max)
+	}
 	t, err := p.newTenant(name)
 	if err != nil {
+		p.tenantCount.Add(-1)
 		return nil, err
 	}
 	sh.tenants[name] = t
 	p.ins.tenantsGauge.Add(1)
 	return t, nil
+}
+
+// Lookup returns tenant name's state if it is already instantiated, nil
+// otherwise. It never creates state, so read-only callers (state
+// endpoints resolving untrusted tenant strings) cannot be abused to
+// exhaust memory.
+func (p *Pipeline) Lookup(name string) *Tenant {
+	sh := p.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tenants[name]
 }
 
 func (p *Pipeline) newTenant(name string) (*Tenant, error) {
@@ -339,13 +408,20 @@ func (p *Pipeline) Submit(ctx context.Context, tenantName string, flow *dataflow
 	} else {
 		t.inflight.Add(1)
 	}
+	// The counters must rise before the enqueue: a worker can dequeue and
+	// reach pending.Done the instant the send completes, and an Add that
+	// raced after it would drive the WaitGroup negative (a runtime panic)
+	// and let InFlight/queue-depth go transiently negative.
+	p.pending.Add(1)
+	p.inFlight.Add(1)
+	p.ins.queueDepth.Add(1)
 	select {
 	case p.queue <- ad:
-		p.pending.Add(1)
-		p.inFlight.Add(1)
-		p.ins.queueDepth.Add(1)
 		p.drainMu.RUnlock()
 	default:
+		p.ins.queueDepth.Add(-1)
+		p.inFlight.Add(-1)
+		p.pending.Done()
 		t.inflight.Add(-1)
 		p.drainMu.RUnlock()
 		return core.FlowResult{}, p.reject("queue-full")
@@ -394,8 +470,8 @@ func (p *Pipeline) run(ad *admission) admissionResult {
 	}
 	t := ad.t
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	res := t.svc.SubmitCtx(ad.ctx, ad.flow)
-	t.mu.Unlock()
 	if res.Cancelled {
 		err := ad.ctx.Err()
 		if err == nil {
@@ -403,6 +479,11 @@ func (p *Pipeline) run(ad *admission) admissionResult {
 		}
 		return admissionResult{res: res, err: err}
 	}
+	// Settle and publish the gauge while still holding the tenant lock:
+	// released earlier, two consecutive completions for the same tenant
+	// could apply their gauge Sets out of order and leave it stale at the
+	// older (lower) total. Lock order is tenant → ledger; Report never
+	// holds the ledger lock while taking a tenant's.
 	total := p.ledger.settle(t.name, res.MoneyQuanta)
 	p.ins.tenantSettled.With(t.name).Set(total)
 	return admissionResult{res: res}
@@ -438,7 +519,11 @@ func (t *Tenant) Do(fn func(svc *core.Service, db *workload.FileDB)) {
 // Drain stops new admissions (they reject with reason "draining"),
 // completes every queued and executing one, then stops the workers. It
 // returns early with ctx's error if the in-flight work does not finish in
-// time; the pipeline stays unusable either way.
+// time; the pipeline stays unusable either way. Even on timeout the queue
+// is closed, so the workers finish the admissions already dequeued-or-
+// queued and then exit — nothing keeps executing (or settling money)
+// indefinitely after Drain reported failure; the timeout only means Drain
+// stopped waiting for them.
 func (p *Pipeline) Drain(ctx context.Context) error {
 	p.drainMu.Lock()
 	p.draining = true
@@ -455,6 +540,8 @@ func (p *Pipeline) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Safe: draining is set, so no Submit can reach the send again.
+		p.closeq.Do(func() { close(p.queue) })
 		return ctx.Err()
 	}
 	p.closeq.Do(func() { close(p.queue) })

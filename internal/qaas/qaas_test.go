@@ -231,6 +231,91 @@ func TestSubmitReturnsOnContextCancelWhileQueued(t *testing.T) {
 	}
 }
 
+// TestTenantNameValidationAndCap covers the untrusted-input guards:
+// malformed names never instantiate state, the MaxTenants cap bounds how
+// many distinct tenants a client can allocate, and Lookup never creates.
+func TestTenantNameValidationAndCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxTenants = 2
+	p := New(cfg)
+	defer p.Drain(context.Background())
+
+	for _, bad := range []string{"", strings.Repeat("x", MaxTenantNameLen+1), "a b", "a/b", "naïve"} {
+		if _, err := p.Tenant(bad); !errors.Is(err, ErrTenantName) {
+			t.Errorf("Tenant(%q) err = %v, want ErrTenantName", bad, err)
+		}
+	}
+	if _, err := p.Submit(context.Background(), "a b", dummyFlow()); !errors.Is(err, ErrTenantName) {
+		t.Errorf("Submit with bad tenant err = %v, want ErrTenantName", err)
+	}
+
+	for _, name := range []string{"a", "b"} {
+		if _, err := p.Tenant(name); err != nil {
+			t.Fatalf("Tenant(%q): %v", name, err)
+		}
+	}
+	if _, err := p.Tenant("a"); err != nil {
+		t.Errorf("existing tenant rejected after cap filled: %v", err)
+	}
+	if _, err := p.Tenant("c"); !errors.Is(err, ErrTenantCapacity) {
+		t.Errorf("over-cap Tenant err = %v, want ErrTenantCapacity", err)
+	}
+	if p.Lookup("c") != nil {
+		t.Error("Lookup instantiated a tenant")
+	}
+	if p.Lookup("a") == nil {
+		t.Error("Lookup misses an instantiated tenant")
+	}
+	if got := len(p.Tenants()); got != 2 {
+		t.Errorf("tenants = %d, want 2 (cap)", got)
+	}
+}
+
+// TestDrainTimeoutStillStopsWorkers proves a timed-out Drain does not
+// leak the worker pool: the queue is closed even on ctx expiry, so once
+// the in-flight work unblocks the workers finish what was queued and
+// exit, and a second Drain completes cleanly.
+func TestDrainTimeoutStillStopsWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 4
+	p := New(cfg)
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	p.execOverride = func(ad *admission) admissionResult {
+		entered <- struct{}{}
+		<-release
+		return admissionResult{res: core.FlowResult{Makespan: 1}}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one executing + one queued (single worker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Submit(context.Background(), "t", dummyFlow()); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	<-entered
+	waitFor(t, func() bool { return p.QueueDepth() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drain with expired ctx: err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	wg.Wait()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain after timeout: %v", err)
+	}
+	if got := p.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight = %d after workers stopped, want 0", got)
+	}
+}
+
 func TestTenantSeedDeterministicAndDistinct(t *testing.T) {
 	if TenantSeed(7, "alice") != TenantSeed(7, "alice") {
 		t.Error("TenantSeed is not deterministic")

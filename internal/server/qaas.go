@@ -9,6 +9,7 @@ import (
 	"idxflow/internal/check"
 	"idxflow/internal/core"
 	"idxflow/internal/flowlang"
+	"idxflow/internal/provenance"
 	"idxflow/internal/qaas"
 	"idxflow/internal/workload"
 )
@@ -55,6 +56,9 @@ func (s *Server) handleSubmitQaaS(w http.ResponseWriter, r *http.Request) {
 	res, err := s.pipe.Submit(r.Context(), tenant, flow)
 	var bp *qaas.BackpressureError
 	switch {
+	case errors.Is(err, qaas.ErrTenantName):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	case errors.As(err, &bp):
 		secs := int(math.Ceil(bp.RetryAfter.Seconds()))
 		if secs < 1 {
@@ -68,7 +72,8 @@ func (s *Server) handleSubmitQaaS(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	case err != nil:
-		// Context cancellation (client gone) or tenant bootstrap failure.
+		// Context cancellation (client gone), tenant capacity reached, or
+		// tenant bootstrap failure.
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -88,27 +93,24 @@ func (s *Server) handleSubmitQaaS(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// tenant resolves the request's tenant state, writing the error response
-// itself on failure.
-func (s *Server) tenant(w http.ResponseWriter, r *http.Request) (*qaas.Tenant, bool) {
-	t, err := s.pipe.Tenant(tenantOf(r))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return nil, false
-	}
-	return t, true
+// lookupTenant resolves the request's tenant state without instantiating
+// it: tenant names are untrusted input and each instantiation allocates a
+// full file database, service and provenance ring, so read-only endpoints
+// must never create one. A nil result means "no state yet" — handlers
+// render the natural empty view, which is also what a just-created tenant
+// would show.
+func (s *Server) lookupTenant(r *http.Request) *qaas.Tenant {
+	return s.pipe.Lookup(tenantOf(r))
 }
 
 func (s *Server) handleIndexesQaaS(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.tenant(w, r)
-	if !ok {
-		return
-	}
 	onlyAvailable := r.URL.Query().Get("available") == "true"
-	var out []IndexInfo
-	t.Do(func(svc *core.Service, db *workload.FileDB) {
-		out = indexInfos(svc.Catalog(), onlyAvailable)
-	})
+	out := []IndexInfo{}
+	if t := s.lookupTenant(r); t != nil {
+		t.Do(func(svc *core.Service, db *workload.FileDB) {
+			out = indexInfos(svc.Catalog(), onlyAvailable)
+		})
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -123,53 +125,50 @@ type QaaSMetricsResponse struct {
 }
 
 func (s *Server) handleMetricsQaaS(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.tenant(w, r)
-	if !ok {
-		return
+	resp := QaaSMetricsResponse{Tenant: tenantOf(r)}
+	if t := s.lookupTenant(r); t != nil {
+		resp.Admitted = t.Admitted()
+		t.Do(func(svc *core.Service, db *workload.FileDB) {
+			resp.ClockSeconds = svc.Clock()
+			resp.IndexesAvailable = len(svc.Catalog().AvailableSet())
+			resp.IndexStorageMB = svc.Catalog().BuiltSizeMB()
+			resp.VMQuanta = svc.Aggregates().VMQuanta
+		})
 	}
-	resp := QaaSMetricsResponse{Tenant: t.Name(), Admitted: t.Admitted()}
-	t.Do(func(svc *core.Service, db *workload.FileDB) {
-		resp.ClockSeconds = svc.Clock()
-		resp.IndexesAvailable = len(svc.Catalog().AvailableSet())
-		resp.IndexStorageMB = svc.Catalog().BuiltSizeMB()
-		resp.VMQuanta = svc.Aggregates().VMQuanta
-	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTablesQaaS(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.tenant(w, r)
-	if !ok {
-		return
-	}
 	out := []TableInfo{}
-	t.Do(func(svc *core.Service, db *workload.FileDB) {
-		for _, f := range db.Files {
-			out = append(out, TableInfo{
-				Name:       f.Table.Name,
-				Partitions: len(f.Table.Partitions),
-				Records:    f.Table.NumRecords(),
-				SizeMB:     f.Table.SizeMB(),
-			})
-		}
-	})
+	if t := s.lookupTenant(r); t != nil {
+		t.Do(func(svc *core.Service, db *workload.FileDB) {
+			for _, f := range db.Files {
+				out = append(out, TableInfo{
+					Name:       f.Table.Name,
+					Partitions: len(f.Table.Partitions),
+					Records:    f.Table.NumRecords(),
+					SizeMB:     f.Table.SizeMB(),
+				})
+			}
+		})
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleEventsQaaS(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.tenant(w, r)
-	if !ok {
-		return
+	var rec *provenance.Recorder // nil-safe: an absent tenant has an empty log
+	if t := s.lookupTenant(r); t != nil {
+		rec = t.Recorder()
 	}
-	serveEvents(w, r, t.Recorder())
+	serveEvents(w, r, rec)
 }
 
 func (s *Server) handleFlowQaaS(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.tenant(w, r)
-	if !ok {
-		return
+	var rec *provenance.Recorder // nil-safe: an absent tenant recorded no flows
+	if t := s.lookupTenant(r); t != nil {
+		rec = t.Recorder()
 	}
-	serveFlowTrace(w, r, t.Recorder())
+	serveFlowTrace(w, r, rec)
 }
 
 // handleQaaSReport exposes the pipeline-wide snapshot: queue depth, fleet

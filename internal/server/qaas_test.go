@@ -288,6 +288,57 @@ func TestQaaSConcurrentSubmissionsAndDebugEvents(t *testing.T) {
 	}
 }
 
+// TestQaaSReadOnlyEndpointsDoNotInstantiateTenants proves that GETs with
+// arbitrary tenant strings cannot allocate per-tenant state (the
+// memory-exhaustion vector): they serve the natural empty view, and the
+// pipeline still holds zero tenants afterwards.
+func TestQaaSReadOnlyEndpointsDoNotInstantiateTenants(t *testing.T) {
+	p, _, ts := testQaaSServer(t, nil)
+
+	var idx []IndexInfo
+	getJSON(t, ts.URL+"/v1/indexes?tenant=ghost-1", &idx)
+	if len(idx) != 0 {
+		t.Errorf("absent tenant has %d indexes", len(idx))
+	}
+	var m QaaSMetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics?tenant=ghost-2", &m)
+	if m.Tenant != "ghost-2" || m.Admitted != 0 || m.VMQuanta != 0 {
+		t.Errorf("absent tenant metrics = %+v, want zero view", m)
+	}
+	var tables []TableInfo
+	getJSON(t, ts.URL+"/v1/tables?tenant=ghost-3", &tables)
+	if len(tables) != 0 {
+		t.Errorf("absent tenant has %d tables", len(tables))
+	}
+	for _, u := range []string{"/debug/events?tenant=ghost-4", "/debug/flows/1?tenant=ghost-5"} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Errorf("GET %s: status %d", u, resp.StatusCode)
+		}
+	}
+
+	if got := len(p.Tenants()); got != 0 {
+		t.Fatalf("read-only endpoints instantiated %d tenants", got)
+	}
+
+	// Submission is the only instantiation path, and it validates the name.
+	resp, err := postFlow(ts, "no!good", tenantFlows(t, 1, "alice", 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tenant name submit status = %d, want 400", resp.StatusCode)
+	}
+	if got := len(p.Tenants()); got != 0 {
+		t.Fatalf("rejected submit instantiated %d tenants", got)
+	}
+}
+
 func getJSON(t *testing.T, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)
