@@ -115,6 +115,13 @@ func main() {
 		s.MeanSeconds = lg.hist.Sum() / float64(c)
 	}
 
+	if q, err := lg.fetchQaaS(); err != nil {
+		log.Printf("idxflow-loadgen: /v1/qaas fetch failed (warm/batch stats omitted): %v", err)
+	} else {
+		s.Warm = &q.Warm
+		s.Batch = &q.Batch
+	}
+
 	fail := false
 	if *audit {
 		verdict, err := lg.fetchAudit()
@@ -303,6 +310,43 @@ type AuditVerdict struct {
 	InFlight   int64    `json:"in_flight"`
 }
 
+// WarmStats and BatchStats mirror the warm-start and batching summaries
+// of the server's /v1/qaas report.
+type WarmStats struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+type BatchStats struct {
+	Batches  int64   `json:"batches"`
+	MeanSize float64 `json:"mean_size"`
+	P50Size  float64 `json:"p50_size"`
+	P95Size  float64 `json:"p95_size"`
+}
+
+type QaaSStats struct {
+	Warm  WarmStats  `json:"warm"`
+	Batch BatchStats `json:"batch"`
+}
+
+func (lg *loadgen) fetchQaaS() (*QaaSStats, error) {
+	resp, err := lg.client.Get(lg.base + "/v1/qaas")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var q QaaSStats
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
 func (lg *loadgen) fetchAudit() (*AuditVerdict, error) {
 	resp, err := lg.client.Get(lg.base + "/debug/audit")
 	if err != nil {
@@ -334,6 +378,8 @@ type Summary struct {
 	P95Seconds      float64       `json:"p95_seconds"`
 	P99Seconds      float64       `json:"p99_seconds"`
 	MeanSeconds     float64       `json:"mean_seconds"`
+	Warm            *WarmStats    `json:"warm,omitempty"`
+	Batch           *BatchStats   `json:"batch,omitempty"`
 	Audit           *AuditVerdict `json:"audit,omitempty"`
 }
 
@@ -345,6 +391,14 @@ func (s Summary) print(w io.Writer) {
 	fmt.Fprintf(w, "  throughput    %.1f dataflows/sec\n", s.DataflowsPerSec)
 	fmt.Fprintf(w, "  latency       p50 %.1fms  p95 %.1fms  p99 %.1fms  mean %.1fms\n",
 		s.P50Seconds*1e3, s.P95Seconds*1e3, s.P99Seconds*1e3, s.MeanSeconds*1e3)
+	if s.Warm != nil {
+		fmt.Fprintf(w, "  warm-start    %.1f%% hit rate (%d hits, %d misses, %d invalidations)\n",
+			s.Warm.HitRate*100, s.Warm.Hits, s.Warm.Misses, s.Warm.Invalidations)
+	}
+	if s.Batch != nil && s.Batch.Batches > 0 {
+		fmt.Fprintf(w, "  batching      %d batches  size p50 %.1f  p95 %.1f  mean %.2f\n",
+			s.Batch.Batches, s.Batch.P50Size, s.Batch.P95Size, s.Batch.MeanSize)
+	}
 	if s.Audit != nil {
 		verdict := "CLEAN"
 		if !s.Audit.Clean {

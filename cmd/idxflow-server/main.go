@@ -63,6 +63,8 @@ func main() {
 		fleet    = flag.Int("fleet", 64, "qaas: shared container fleet capacity")
 		pace     = flag.Float64("pace", 0, "qaas: wall-clock ms of container occupancy per billing quantum of makespan")
 		provCap  = flag.Int("prov-cap", 262144, "qaas: per-tenant provenance ring capacity")
+		batchMax = flag.Int("batch-max", qaas.DefaultBatchMax, "qaas: admissions coalesced per batched window (-1 disables)")
+		batchWin = flag.Duration("batch-window", 0, "qaas: how long a worker holds a batch open for stragglers")
 		audit    = flag.Bool("audit", true, "qaas: run check.Audit on every execution, verdict at /debug/audit")
 	)
 	flag.Parse()
@@ -99,6 +101,8 @@ func main() {
 			FleetContainers:    *fleet,
 			PaceMSPerQuantum:   *pace,
 			ProvenanceCapacity: *provCap,
+			BatchMax:           *batchMax,
+			BatchWindow:        *batchWin,
 		}
 		if *audit {
 			// Exact replay holds whenever no runtime-error model or fault

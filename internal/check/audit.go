@@ -694,6 +694,19 @@ func AuditGain(e *gain.Evaluator, cands []gain.Costs, now float64) error {
 			r.addf("non-beneficial", "%s has both gains non-positive but is not deletable", c.Name)
 		}
 	}
+
+	// Delta-aggregate idempotence: re-evaluating at the same time point is
+	// a pure read of the running sums (Fade(0) = 1, no transitions), so it
+	// must reproduce the earlier floats bit for bit — across the Rank and
+	// NonBeneficial calls the audit itself made in between.
+	for _, c := range cands {
+		if gt := e.TimeGain(c, now); gt != gts[c.Name] {
+			r.addf("delta-idempotence", "%s: TimeGain drifted %g -> %g at fixed now", c.Name, gts[c.Name], gt)
+		}
+		if gm := e.MoneyGain(c, now); gm != gms[c.Name] {
+			r.addf("delta-idempotence", "%s: MoneyGain drifted %g -> %g at fixed now", c.Name, gms[c.Name], gm)
+		}
+	}
 	return r.Err()
 }
 

@@ -1,0 +1,135 @@
+package check
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"idxflow/internal/dataflow"
+	"idxflow/internal/sched"
+	"idxflow/internal/sim"
+)
+
+// schedView is the canonical exported view of one schedule: the objective
+// point, the container typing and every assignment sorted by operator.
+// Two schedules are observationally identical iff their views are
+// reflect.DeepEqual — float fields compare bit-exactly.
+type schedView struct {
+	Makespan    float64
+	MoneyQuanta float64
+	Types       []int
+	Assigns     []sched.Assignment
+}
+
+func viewOf(sky []*sched.Schedule) []schedView {
+	out := make([]schedView, len(sky))
+	for i, s := range sky {
+		v := schedView{Makespan: s.Makespan(), MoneyQuanta: s.MoneyQuanta()}
+		for c := 0; c < s.NumSlots(); c++ {
+			v.Types = append(v.Types, s.ContainerTypeIndex(c))
+		}
+		v.Assigns = s.Assignments()
+		sort.Slice(v.Assigns, func(a, b int) bool { return v.Assigns[a].Op < v.Assigns[b].Op })
+		out[i] = v
+	}
+	return out
+}
+
+// FuzzWarmFrontier drives one warm-start state through a fuzzed
+// interleaving of submissions, faulted executions, adoptions, invalidations
+// and caller-side mutations of returned schedules, and checks after every
+// submission that the warm frontier is reflect.DeepEqual to a from-scratch
+// cold run and passes the frontier audit.
+func FuzzWarmFrontier(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint64(0))
+	f.Add(int64(4), uint64(1), uint64(0x2d))
+	f.Add(int64(9), uint64(2), uint64(120))
+	f.Add(int64(-6), uint64(7), uint64(0xffff))
+	f.Add(int64(31), uint64(5), uint64(0b101101110))
+	f.Fuzz(func(t *testing.T, seed int64, par, mix uint64) {
+		sc := NewScenario(seed, float64(mix%150)/100)
+		parallelism := []int{1, 2, 8}[par%3]
+		warm := sched.NewWarm(nil)
+
+		// Three graphs to cycle through; repeats exercise the memo's hit
+		// path, switches its replacement path.
+		gcfg := GraphConfig{
+			Ops:       2 + int(mix%15),
+			Layers:    1 + int(mix%4),
+			EdgeProb:  float64(mix%97) / 96,
+			MaxTime:   25 + float64(mix%60),
+			MaxEdgeMB: float64(mix % 100),
+			Builds:    int(mix % 4),
+		}
+		graphs := []*dataflow.Graph{
+			sc.Graph,
+			Graph(Layered, gcfg, seed+1),
+			Graph(RandomOrder, gcfg, seed+2),
+		}
+
+		for step := 0; step < 8; step++ {
+			bits := mix >> (2 * step)
+			g := graphs[bits%3]
+			withOpt := bits&0b100 != 0
+
+			warmOpts := sc.Opts
+			warmOpts.Parallelism = parallelism
+			warmOpts.Warm = warm
+			coldOpts := sc.Opts
+			coldOpts.Parallelism = parallelism
+
+			run := func(o sched.Options) []*sched.Schedule {
+				if withOpt {
+					return sched.NewSkyline(o).ScheduleWithOptional(g)
+				}
+				return sched.NewSkyline(o).Schedule(g)
+			}
+			wsky := run(warmOpts)
+			csky := run(coldOpts)
+			if !reflect.DeepEqual(viewOf(wsky), viewOf(csky)) {
+				t.Fatalf("seed %d step %d (withOpt=%v p=%d): warm frontier diverged from cold",
+					seed, step, withOpt, parallelism)
+			}
+			if err := AuditFrontier(wsky); err != nil {
+				t.Fatalf("seed %d step %d: warm frontier: %v", seed, step, err)
+			}
+			if len(wsky) == 0 {
+				continue
+			}
+			chosen := wsky[int(bits>>3)%len(wsky)]
+
+			// Interleave the bookkeeping the service performs between
+			// submissions — none of it may change future frontiers.
+			switch bits % 4 {
+			case 0: // faulted execution, then per-container invalidation
+				cfg := sim.Config{Pricing: sc.Opts.Pricing, Spec: sc.Opts.Spec}
+				if sc.Plan.Len() > 0 {
+					cfg.Faults = sc.Plan.Events
+				}
+				res := sim.Execute(chosen, cfg)
+				for _, c := range res.FaultedContainers {
+					warm.NoteFault(c)
+				}
+				warm.NoteAdoption(chosen)
+			case 1: // adoption plus an out-of-band placement
+				warm.NoteAdoption(chosen)
+				warm.NotePlacement(chosen.NumSlots())
+				warm.NotePlacement(0)
+			case 2: // caller wipes the returned clones outright
+				for _, s := range wsky {
+					s.CopyFrom(sched.NewSchedule(g, sc.Opts.Pricing, sc.Opts.Spec))
+				}
+			case 3: // speculative placement + undo round-trip on an unplaced op
+				for _, id := range g.Ops() {
+					if _, ok := chosen.Assignment(id); ok {
+						continue
+					}
+					if _, tok, err := chosen.AppendSpeculative(id, chosen.NumSlots(), 0, 1); err == nil {
+						chosen.Undo(tok)
+					}
+					break
+				}
+			}
+		}
+	})
+}

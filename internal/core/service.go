@@ -269,6 +269,10 @@ type Service struct {
 	// fader is the learned per-index fading controller (nil unless
 	// Config.AdaptiveFading).
 	fader *gain.AdaptiveFader
+	// warm carries the scheduler's cross-submission state: the last
+	// frontier and per-container lease/idle books, invalidated per
+	// container by faults and out-of-band placements.
+	warm *sched.Warm
 }
 
 // NewService returns a service over the given file database.
@@ -302,6 +306,8 @@ func NewService(cfg Config, db *workload.FileDB) *Service {
 		prov:     cfg.Provenance,
 	}
 	s.ins = newServiceInstruments(s.tel)
+	s.warm = sched.NewWarm(s.tel)
+	s.cfg.Sched.Warm = s.warm
 	s.storage.Instrument(s.tel)
 	s.eval.Metrics = s.tel
 	s.eval.Provenance = s.prov
@@ -329,6 +335,9 @@ func (s *Service) Catalog() *data.Catalog { return s.db.Catalog }
 
 // Clock returns the service time in seconds.
 func (s *Service) Clock() float64 { return s.clock }
+
+// WarmStats snapshots the scheduler's warm-start counters and books.
+func (s *Service) WarmStats() sched.WarmStats { return s.warm.Stats() }
 
 // effectiveSpeedups scales each usable index's speedups by the indexed
 // fraction of the partitions the flow actually touches (§3: "each operator
@@ -760,7 +769,13 @@ func (s *Service) SubmitCtx(ctx context.Context, flow *dataflow.Flow) FlowResult
 	// gain clearly exceeds the marginal quantum cost go to a dedicated
 	// extra container, paid for out of pocket.
 	if s.cfg.AllowDedicatedBuilds && (s.cfg.Strategy == Gain || s.cfg.Strategy == GainNoDelete) {
+		before := chosen.NumSlots()
 		s.scheduleDedicatedBuilds(chosen, builds)
+		// Dedicated-build containers are placements made outside the
+		// scheduler: invalidate exactly those warm-book entries.
+		for c := before; c < chosen.NumSlots(); c++ {
+			s.warm.NotePlacement(c)
+		}
 	}
 
 	// Execute with the configured runtime-error and fault injection. The
@@ -814,6 +829,14 @@ func (s *Service) SubmitCtx(ctx context.Context, flow *dataflow.Flow) FlowResult
 	s.metrics.FaultsRecovered += run.FaultsRecovered
 	s.metrics.ReplacedOps += run.ReplacedOps
 	s.metrics.WastedQuanta += run.WastedQuanta
+
+	// Warm-start bookkeeping: each fault invalidates exactly the container
+	// it touched in the carried books, then the adopted (post-repair)
+	// schedule re-baselines them.
+	for _, c := range run.FaultedContainers {
+		s.warm.NoteFault(c)
+	}
+	s.warm.NoteAdoption(chosen)
 
 	// Commit completed index builds to the catalog and storage.
 	byOp := make(map[dataflow.OpID]buildCandidate, len(builds))

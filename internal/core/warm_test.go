@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"idxflow/internal/workload"
+)
+
+// runWarmSeq runs a fixed submission sequence — every flow submitted twice
+// so the scheduling problem repeats — and returns the aggregate metrics.
+// warmOn toggles the scheduler's cross-submission warm state; everything
+// else is identical, so warm and cold runs must agree bit for bit.
+func runWarmSeq(t *testing.T, strategy Strategy, warmOn, faulty bool, parallelism int) (*Service, Metrics) {
+	t.Helper()
+	db := testDB(t)
+	gen := workload.NewGenerator(db, 2)
+	cfg := quickConfig(strategy)
+	cfg.Sched.Parallelism = parallelism
+	if faulty {
+		cfg.Faults = heavyFaultPlan()
+	}
+	svc := NewService(cfg, db)
+	if !warmOn {
+		svc.warm = nil
+		svc.cfg.Sched.Warm = nil
+	}
+	for i := 0; i < 4; i++ {
+		// Submit the same flow object twice: the generator draws from its
+		// RNG per call, so only reuse yields an identical scheduling
+		// problem (Submit clones the graph before any rewrite).
+		flow := gen.Flow(workload.Apps[i%len(workload.Apps)], i, svc.Clock())
+		svc.Submit(flow)
+		svc.Submit(flow)
+	}
+	return svc, svc.Run(nil, svc.Clock()+1)
+}
+
+// TestServiceWarmMatchesColdGolden is the end-to-end golden equivalence:
+// with and without faults, at Parallelism 1, 2 and 8, a warm-carrying
+// service produces metrics reflect.DeepEqual to a cold service over the
+// same submissions — per-flow results, costs and fault accounting included.
+func TestServiceWarmMatchesColdGolden(t *testing.T) {
+	for _, faulty := range []bool{false, true} {
+		_, cold := runWarmSeq(t, Gain, false, faulty, 1)
+		if faulty && cold.FaultsInjected == 0 {
+			t.Fatal("fault plan injected nothing; the faulted golden case is dead")
+		}
+		for _, p := range []int{1, 2, 8} {
+			_, warm := runWarmSeq(t, Gain, true, faulty, p)
+			if !reflect.DeepEqual(cold, warm) {
+				t.Errorf("faulty=%v parallelism=%d: warm metrics diverged from cold:\ncold: %+v\nwarm: %+v",
+					faulty, p, cold, warm)
+			}
+		}
+	}
+}
+
+// TestServiceWarmHitsOnRepeatedFlows proves the memo engages on the
+// service's hot path: under NoIndex no tuner rewrite perturbs the graph
+// between identical submissions, so the repeats must hit, and the repeated
+// flow's result must match its first run exactly.
+func TestServiceWarmHitsOnRepeatedFlows(t *testing.T) {
+	svc, m := runWarmSeq(t, NoIndex, true, false, 1)
+	st := svc.WarmStats()
+	if st.Hits == 0 {
+		t.Fatalf("no warm hits over repeated identical flows: %+v", st)
+	}
+	for i := 0; i+1 < len(m.Results); i += 2 {
+		a, b := m.Results[i], m.Results[i+1]
+		if a.Makespan != b.Makespan || a.MoneyQuanta != b.MoneyQuanta {
+			t.Errorf("repeat of flow %d diverged: (%g, %g) vs (%g, %g)",
+				i, a.Makespan, a.MoneyQuanta, b.Makespan, b.MoneyQuanta)
+		}
+	}
+	if st.BookContainers == 0 {
+		t.Error("no lease/idle books were adopted during the run")
+	}
+}
+
+// TestServiceWarmStatsNilSafe covers the disabled-warm service: the stats
+// accessor and the fault/adoption notes must all be inert.
+func TestServiceWarmStatsNilSafe(t *testing.T) {
+	svc, _ := runWarmSeq(t, Gain, false, true, 1)
+	if st := svc.WarmStats(); st.Hits != 0 || st.Misses != 0 || st.BookContainers != 0 {
+		t.Fatalf("disabled warm state reported activity: %+v", st)
+	}
+}

@@ -88,42 +88,43 @@ type Edge struct {
 }
 
 // Graph is a DAG of operators. The zero value is not usable; call New.
+//
+// Operator IDs are assigned densely from zero and there is no removal, so
+// every per-operator book is a slice indexed by OpID — the scheduler sits
+// on these lookups millions of times per submission and dense addressing
+// keeps them off the map hash path.
 type Graph struct {
-	ops   map[OpID]*Operator
-	order []OpID // insertion order, for deterministic iteration
-	out   map[OpID][]Edge
-	in    map[OpID][]Edge
-	next  OpID
+	ops []*Operator // index == OpID
+	out [][]Edge    // index == OpID
+	in  [][]Edge    // index == OpID
 }
 
 // New returns an empty dataflow graph.
 func New() *Graph {
-	return &Graph{
-		ops: make(map[OpID]*Operator),
-		out: make(map[OpID][]Edge),
-		in:  make(map[OpID][]Edge),
-	}
+	return &Graph{}
 }
 
 // Add inserts op into the graph, assigning and returning its ID.
 // The Operator is copied; the caller keeps ownership of the argument.
 func (g *Graph) Add(op Operator) OpID {
-	id := g.next
-	g.next++
+	id := OpID(len(g.ops))
 	op.ID = id
-	g.ops[id] = &op
-	g.order = append(g.order, id)
+	g.ops = append(g.ops, &op)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
 	return id
 }
+
+func (g *Graph) valid(id OpID) bool { return id >= 0 && int(id) < len(g.ops) }
 
 // Connect adds a flow edge carrying size MB from one operator to another.
 // It returns an error if either endpoint is unknown, if the edge would be a
 // self-loop, or if it would create a cycle.
 func (g *Graph) Connect(from, to OpID, size float64) error {
-	if _, ok := g.ops[from]; !ok {
+	if !g.valid(from) {
 		return fmt.Errorf("dataflow: unknown source operator %d", from)
 	}
-	if _, ok := g.ops[to]; !ok {
+	if !g.valid(to) {
 		return fmt.Errorf("dataflow: unknown target operator %d", to)
 	}
 	if from == to {
@@ -146,7 +147,7 @@ func (g *Graph) reaches(from, to OpID) bool {
 	if from == to {
 		return true
 	}
-	seen := make(map[OpID]bool)
+	seen := make([]bool, len(g.ops))
 	stack := []OpID{from}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -167,30 +168,47 @@ func (g *Graph) reaches(from, to OpID) bool {
 
 // Op returns the operator with the given ID, or nil if it does not exist.
 // The returned pointer aliases graph state; mutate with care.
-func (g *Graph) Op(id OpID) *Operator { return g.ops[id] }
+func (g *Graph) Op(id OpID) *Operator {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.ops[id]
+}
 
 // Len returns the number of operators.
 func (g *Graph) Len() int { return len(g.ops) }
 
 // Ops returns all operator IDs in insertion order.
 func (g *Graph) Ops() []OpID {
-	ids := make([]OpID, len(g.order))
-	copy(ids, g.order)
+	ids := make([]OpID, len(g.ops))
+	for i := range ids {
+		ids[i] = OpID(i)
+	}
 	return ids
 }
 
 // In returns the incoming edges of id.
-func (g *Graph) In(id OpID) []Edge { return g.in[id] }
+func (g *Graph) In(id OpID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.in[id]
+}
 
 // Out returns the outgoing edges of id.
-func (g *Graph) Out(id OpID) []Edge { return g.out[id] }
+func (g *Graph) Out(id OpID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.out[id]
+}
 
 // Sources returns the operators with no incoming edges, in insertion order.
 func (g *Graph) Sources() []OpID {
 	var src []OpID
-	for _, id := range g.order {
+	for id := range g.ops {
 		if len(g.in[id]) == 0 {
-			src = append(src, id)
+			src = append(src, OpID(id))
 		}
 	}
 	return src
@@ -199,9 +217,9 @@ func (g *Graph) Sources() []OpID {
 // Sinks returns the operators with no outgoing edges, in insertion order.
 func (g *Graph) Sinks() []OpID {
 	var snk []OpID
-	for _, id := range g.order {
+	for id := range g.ops {
 		if len(g.out[id]) == 0 {
-			snk = append(snk, id)
+			snk = append(snk, OpID(id))
 		}
 	}
 	return snk
@@ -215,14 +233,14 @@ var ErrCycle = errors.New("dataflow: graph contains a cycle")
 // whose dependencies are equally satisfied, insertion order is preserved,
 // so the result is deterministic.
 func (g *Graph) TopoSort() ([]OpID, error) {
-	indeg := make(map[OpID]int, len(g.ops))
-	for _, id := range g.order {
+	indeg := make([]int, len(g.ops))
+	for id := range g.ops {
 		indeg[id] = len(g.in[id])
 	}
 	var ready []OpID
-	for _, id := range g.order {
+	for id := range g.ops {
 		if indeg[id] == 0 {
-			ready = append(ready, id)
+			ready = append(ready, OpID(id))
 		}
 	}
 	sorted := make([]OpID, 0, len(g.ops))
@@ -262,7 +280,7 @@ func (g *Graph) CriticalPath() float64 {
 	if err != nil {
 		return 0
 	}
-	finish := make(map[OpID]float64, len(order))
+	finish := make([]float64, len(g.ops))
 	var longest float64
 	for _, id := range order {
 		var start float64
@@ -284,8 +302,7 @@ func (g *Graph) CriticalPath() float64 {
 // operator has a positive runtime estimate and resource demands within a
 // single container's capacity.
 func (g *Graph) Validate() error {
-	for _, id := range g.order {
-		op := g.ops[id]
+	for id, op := range g.ops {
 		if op.Time < 0 {
 			return fmt.Errorf("dataflow: operator %d (%s) has negative time %g", id, op.Name, op.Time)
 		}
@@ -297,12 +314,9 @@ func (g *Graph) Validate() error {
 		}
 	}
 	for from, edges := range g.out {
-		if _, ok := g.ops[from]; !ok {
-			return fmt.Errorf("dataflow: edge list for unknown operator %d", from)
-		}
 		for _, e := range edges {
-			if _, ok := g.ops[e.To]; !ok {
-				return fmt.Errorf("dataflow: edge %d->%d targets unknown operator", e.From, e.To)
+			if !g.valid(e.To) {
+				return fmt.Errorf("dataflow: edge %d->%d targets unknown operator", from, e.To)
 			}
 		}
 	}
@@ -314,19 +328,25 @@ func (g *Graph) Validate() error {
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	c.next = g.next
-	c.order = append([]OpID(nil), g.order...)
+	c := &Graph{
+		ops: make([]*Operator, len(g.ops)),
+		out: make([][]Edge, len(g.out)),
+		in:  make([][]Edge, len(g.in)),
+	}
 	for id, op := range g.ops {
 		cp := *op
 		cp.Reads = append([]string(nil), op.Reads...)
 		c.ops[id] = &cp
 	}
 	for id, edges := range g.out {
-		c.out[id] = append([]Edge(nil), edges...)
+		if edges != nil {
+			c.out[id] = append([]Edge(nil), edges...)
+		}
 	}
 	for id, edges := range g.in {
-		c.in[id] = append([]Edge(nil), edges...)
+		if edges != nil {
+			c.in[id] = append([]Edge(nil), edges...)
+		}
 	}
 	return c
 }
@@ -339,7 +359,7 @@ func (g *Graph) Levels() [][]OpID {
 	if err != nil {
 		return nil
 	}
-	level := make(map[OpID]int, len(order))
+	level := make([]int, len(g.ops))
 	maxLevel := 0
 	for _, id := range order {
 		l := 0
@@ -365,7 +385,7 @@ func (g *Graph) Levels() [][]OpID {
 func (g *Graph) DOT(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", name)
-	ids := append([]OpID(nil), g.order...)
+	ids := g.Ops()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		op := g.ops[id]

@@ -1,0 +1,235 @@
+package gain
+
+// Delta gain aggregates.
+//
+// The tuner evaluates every candidate index on every submission, and each
+// evaluation used to walk the index's full record history to fold
+// Σ δ(d,t)·dc(δT_d)·gain (Eq. 4 and 5). The exponential fading function is
+// multiplicative — dc(a+b) = dc(a)·dc(b) — so the faded sum at a later
+// time point is the earlier sum scaled by one decay factor, and an
+// evaluation only needs per-record work for records whose window/fading
+// state actually changed since the last evaluation:
+//
+//   - a newly added record enters the weight-1 pending bucket (When >= now
+//     means running/queued: no fading, always in window),
+//   - advancing now by Δ multiplies the whole decayed bucket by dc(Δ/q)
+//     once (the fade-epoch advance),
+//   - a pending record whose When falls behind now moves to the decayed
+//     bucket at its exact weight dc((now-When)/q),
+//   - a decayed record sliding out of the [t-W, t] window leaves the sum
+//     by subtracting its current weight.
+//
+// Each record transitions through each bucket at most once, so the work
+// per evaluation is O(1) amortized per history change instead of
+// O(records) — the per-index running sums the warm-start issue calls for.
+//
+// The algebra requires the exponential fade and a When-sorted record list
+// (the service clock is monotone, so production appends are sorted). A
+// FadeOverride breaks multiplicativity and an out-of-order append breaks
+// the bucket cursors; both fall back to the reference fadedSum walk.
+// check.AuditGain recomputes every gain through that walk, so every audit
+// of a delta-path evaluator proves the two agree.
+//
+// The cache lives inside the History rather than the Evaluator, and holds
+// only value-typed bookkeeping besides the aggregate map itself. That is
+// deliberate: storing a pointer loaded from the evaluator into one of its
+// own fields defeats escape analysis ("leaking param content"), forcing
+// every short-lived evaluator's History onto the heap. With the cache
+// hanging off the History, fadedSums stores no pointers derived from the
+// evaluator anywhere, and tiny throwaway evaluators stay stack-allocated.
+
+// aggState is one index's running aggregate. Cursors partition the
+// history slice, which is When-sorted in delta mode:
+//
+//	recs[:live]       expired   (outside the window; contribute nothing)
+//	recs[live:pend]   decayed   (in sumT/sumM at weight dc((at-When)/q))
+//	recs[pend:n]      pending   (in pendT/pendM at weight 1)
+//	recs[n:]          not yet absorbed
+type aggState struct {
+	unsorted bool // out-of-order append seen: this index walks instead
+
+	n, live, pend int
+	at            float64 // validity time of sumT/sumM
+
+	sumT, sumM   float64
+	pendT, pendM float64
+}
+
+// deltaMinRecords is the history length below which an index keeps using
+// the reference walk: a short walk is a handful of flops, cheaper than
+// allocating and maintaining cursor state. Once an index's history reaches
+// the threshold its aggregate persists (until a structural rewrite resets
+// the cache). Variable so tests can force the delta path on tiny inputs.
+var deltaMinRecords = 32
+
+// histDelta is the History's aggregate cache plus the identity of the
+// inputs it was built against; any mismatch resets it wholesale.
+type histDelta struct {
+	aggs map[string]*aggState
+	gen  uint64 // History.gen the cache was built at
+
+	// Fading/window parameters baked into the sums; a change invalidates.
+	fadeD, windowW, quantum float64
+
+	// pending counts delta updates not yet flushed to telemetry; Rank
+	// drains it (flushDeltaUpdates), keeping registry traffic off the
+	// per-evaluation path.
+	pending uint64
+}
+
+const (
+	deltaCounterName = "idxflow_gain_delta_updates_total"
+	deltaCounterHelp = "O(1) delta-aggregate updates applied in place of full faded-sum walks: record absorptions, bucket transitions, fade-epoch advances and window expiries."
+)
+
+// flushDeltaUpdates publishes accumulated delta-update counts to the
+// evaluator's registry. Called from Rank — once per tuner pass, not once
+// per evaluation — and kept out of fadedSums so the registry access (which
+// escape analysis charges against everything reachable from e) never
+// touches the Gain/Beneficial path.
+func (e *Evaluator) flushDeltaUpdates() {
+	h := e.History
+	if h == nil || h.delta.pending == 0 {
+		return
+	}
+	e.Metrics.Counter(deltaCounterName, deltaCounterHelp).Add(float64(h.delta.pending))
+	h.delta.pending = 0
+}
+
+// fadedSums returns the index's faded time- and money-gain sums at now.
+// It is the single entry point the gain equations use; the reference walk
+// fadedSum remains the semantic definition.
+func (e *Evaluator) fadedSums(index string, now float64) (sumT, sumM float64) {
+	if e.FadeOverride != nil {
+		// Per-index learned fading: no multiplicativity to exploit.
+		return e.fadedWalk(index, now)
+	}
+	h := e.History
+	if h.delta.aggs != nil &&
+		(h.delta.gen != h.gen || h.delta.fadeD != e.Params.FadeD ||
+			h.delta.windowW != e.Params.WindowW ||
+			h.delta.quantum != e.Params.Pricing.QuantumSeconds) {
+		h.delta.aggs = nil
+	}
+	recs := h.recs[index]
+	a := h.delta.aggs[index]
+	if a == nil {
+		if len(recs) < deltaMinRecords {
+			return e.fadedWalk(index, now)
+		}
+		a = &aggState{}
+		if h.delta.aggs == nil {
+			h.delta.aggs = make(map[string]*aggState, len(h.recs))
+			h.delta.gen = h.gen
+			h.delta.fadeD = e.Params.FadeD
+			h.delta.windowW = e.Params.WindowW
+			h.delta.quantum = e.Params.Pricing.QuantumSeconds
+		}
+		h.delta.aggs[index] = a
+	}
+	if a.unsorted {
+		return e.fadedWalk(index, now)
+	}
+	if a.n > len(recs) || now < a.at {
+		// The slice shrank beneath us without a generation bump (callers
+		// must not do this, but stay safe) or time moved backwards
+		// (replayed snapshots): restart and replay the full list through
+		// the same transitions below.
+		*a = aggState{}
+	}
+	updates := 0
+
+	// Absorb appended records into the pending (weight-1) bucket.
+	for a.n < len(recs) {
+		r := recs[a.n]
+		if a.n > 0 && r.When < recs[a.n-1].When {
+			a.unsorted = true
+			return e.fadedWalk(index, now)
+		}
+		a.pendT += r.TimeGain
+		a.pendM += r.MoneyGain
+		a.n++
+		updates++
+	}
+
+	q := e.Params.Pricing.QuantumSeconds
+	// Fade-epoch advance: one decay factor re-validates the whole decayed
+	// bucket at now.
+	if now > a.at && a.pend > a.live {
+		decay := e.Params.Fade((now - a.at) / q)
+		a.sumT *= decay
+		a.sumM *= decay
+		updates++
+	}
+	// Pending records now in the past start fading (or, if now jumped far
+	// enough, leave the window without ever fading — then every older
+	// decayed record is outside the window too).
+	for a.pend < a.n && recs[a.pend].When < now {
+		r := recs[a.pend]
+		a.pendT -= r.TimeGain
+		a.pendM -= r.MoneyGain
+		since := (now - r.When) / q
+		if w := e.Params.WindowW; w > 0 && since > w {
+			a.sumT, a.sumM = 0, 0
+			a.pend++
+			a.live = a.pend
+		} else {
+			f := e.Params.Fade(since)
+			a.sumT += f * r.TimeGain
+			a.sumM += f * r.MoneyGain
+			a.pend++
+		}
+		updates++
+	}
+	if a.pend == a.n {
+		// Empty pending bucket: clear the residue the incremental +/-
+		// left behind so it cannot accumulate across refills.
+		a.pendT, a.pendM = 0, 0
+	}
+	// Window expiry: the oldest decayed records leave [t-W, t].
+	if w := e.Params.WindowW; w > 0 {
+		for a.live < a.pend && (now-recs[a.live].When)/q > w {
+			r := recs[a.live]
+			f := e.Params.Fade((now - r.When) / q)
+			a.sumT -= f * r.TimeGain
+			a.sumM -= f * r.MoneyGain
+			a.live++
+			updates++
+		}
+		if a.live == a.pend {
+			a.sumT, a.sumM = 0, 0
+		}
+	}
+	a.at = now
+
+	if updates > 0 {
+		h.delta.pending += uint64(updates)
+	}
+	return a.sumT + a.pendT, a.sumM + a.pendM
+}
+
+// fadedWalk is the reference walk for both gain components in one pass,
+// computing each record's fading weight once. It is semantically two
+// fadedSum calls; the fallbacks above use it so opting out of the delta
+// path never doubles the walk cost.
+func (e *Evaluator) fadedWalk(index string, now float64) (sumT, sumM float64) {
+	q := e.Params.Pricing.QuantumSeconds
+	for _, r := range e.History.Records(index) {
+		sinceQuanta := (now - r.When) / q
+		if sinceQuanta < 0 {
+			sinceQuanta = 0 // running or queued
+		}
+		if e.Params.WindowW > 0 && sinceQuanta > e.Params.WindowW {
+			continue // outside [t-W, t]
+		}
+		var f float64
+		if e.FadeOverride != nil {
+			f = e.FadeOverride(index, sinceQuanta)
+		} else {
+			f = e.Params.Fade(sinceQuanta)
+		}
+		sumT += f * r.TimeGain
+		sumM += f * r.MoneyGain
+	}
+	return sumT, sumM
+}

@@ -1,0 +1,236 @@
+package gain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"idxflow/internal/cloud"
+	"idxflow/internal/telemetry"
+)
+
+// forceDelta drops the small-history walk threshold for the test, so the
+// cursor machinery is exercised on tiny inputs too.
+func forceDelta(t *testing.T) {
+	t.Helper()
+	old := deltaMinRecords
+	deltaMinRecords = 0
+	t.Cleanup(func() { deltaMinRecords = old })
+}
+
+// walkSums is the reference walk for both components, bypassing delta.
+func walkSums(e *Evaluator, index string, now float64) (float64, float64) {
+	return e.fadedSum(index, now, func(r Record) float64 { return r.TimeGain }),
+		e.fadedSum(index, now, func(r Record) float64 { return r.MoneyGain })
+}
+
+// agree asserts the delta path matches the walk within the audit
+// tolerance (sums folded in a different order).
+func agree(t *testing.T, e *Evaluator, index string, now float64) {
+	t.Helper()
+	gotT, gotM := e.fadedSums(index, now)
+	wantT, wantM := walkSums(e, index, now)
+	eps := 1e-9
+	if math.Abs(gotT-wantT) > eps*math.Max(1, math.Abs(wantT)) {
+		t.Fatalf("now=%g: delta sumT %g, walk %g", now, gotT, wantT)
+	}
+	if math.Abs(gotM-wantM) > eps*math.Max(1, math.Abs(wantM)) {
+		t.Fatalf("now=%g: delta sumM %g, walk %g", now, gotM, wantM)
+	}
+}
+
+func TestDeltaAgreesWithWalkRandom(t *testing.T) {
+	for _, w := range []float64{0, 2, 10} {
+		p := params()
+		p.WindowW = w
+		e := NewEvaluator(p)
+		rng := rand.New(rand.NewSource(int64(w*10 + 1)))
+		now := 0.0
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // add a record at or slightly ahead of the clock
+				e.History.Add("A", Record{
+					When:      now + rng.Float64()*30,
+					TimeGain:  rng.Float64()*10 - 2,
+					MoneyGain: rng.Float64()*6 - 1,
+				})
+			case 2: // advance the clock a little
+				now += rng.Float64() * 20
+			case 3: // advance past a window width: mass expiry
+				now += rng.Float64() * 200
+			}
+			agree(t, e, "A", now)
+		}
+	}
+}
+
+func TestDeltaIdempotentAtFixedNow(t *testing.T) {
+	forceDelta(t)
+	e := NewEvaluator(params())
+	for i := 0; i < 50; i++ {
+		e.History.Add("A", Record{When: float64(i * 7), TimeGain: float64(i), MoneyGain: 1})
+	}
+	t1, m1 := e.fadedSums("A", 300)
+	t2, m2 := e.fadedSums("A", 300)
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("re-evaluation at fixed now drifted: (%g,%g) -> (%g,%g)", t1, m1, t2, m2)
+	}
+}
+
+func TestDeltaSurvivesPrune(t *testing.T) {
+	forceDelta(t)
+	p := params()
+	p.WindowW = 5
+	e := NewEvaluator(p)
+	q := p.Pricing.QuantumSeconds
+	for i := 0; i < 40; i++ {
+		e.History.Add("A", Record{When: float64(i) * q, TimeGain: 2, MoneyGain: 1})
+	}
+	now := 50 * q
+	agree(t, e, "A", now)
+	// Prune everything outside the window, then keep evaluating.
+	e.History.Prune(now - p.WindowW*q)
+	agree(t, e, "A", now)
+	now += 3 * q
+	agree(t, e, "A", now)
+}
+
+func TestDeltaSurvivesReplace(t *testing.T) {
+	forceDelta(t)
+	e := NewEvaluator(params())
+	e.History.Add("A", Record{When: 0, TimeGain: 4})
+	agree(t, e, "A", 100)
+	e.History.Replace(map[string][]Record{"A": {{When: 50, TimeGain: 9, MoneyGain: 3}}})
+	agree(t, e, "A", 100)
+}
+
+func TestDeltaUnsortedFallsBackToWalk(t *testing.T) {
+	forceDelta(t)
+	e := NewEvaluator(params())
+	e.History.Add("A", Record{When: 100, TimeGain: 1})
+	agree(t, e, "A", 100)
+	// Out-of-order append: the delta cursors no longer apply; the index
+	// must permanently use the reference walk and stay correct.
+	e.History.Add("A", Record{When: 10, TimeGain: 5, MoneyGain: 2})
+	agree(t, e, "A", 120)
+	agree(t, e, "A", 500)
+}
+
+func TestDeltaTimeBackwardsRebuilds(t *testing.T) {
+	forceDelta(t)
+	e := NewEvaluator(params())
+	for i := 0; i < 10; i++ {
+		e.History.Add("A", Record{When: float64(i * 60), TimeGain: 1, MoneyGain: 1})
+	}
+	agree(t, e, "A", 900)
+	// A restored snapshot replays an earlier clock.
+	agree(t, e, "A", 300)
+	agree(t, e, "A", 1200)
+}
+
+func TestDeltaFadeOverrideUsesWalk(t *testing.T) {
+	e := NewEvaluator(params())
+	e.FadeOverride = func(_ string, since float64) float64 { return 1 / (1 + since) }
+	e.History.Add("A", Record{When: 0, TimeGain: 6, MoneyGain: 2})
+	e.History.Add("A", Record{When: 60, TimeGain: 3, MoneyGain: 1})
+	gotT, _ := e.fadedSums("A", 120)
+	wantT := e.fadedSum("A", 120, func(r Record) float64 { return r.TimeGain })
+	if gotT != wantT {
+		t.Fatalf("override path: fadedSums %g, fadedSum walk %g", gotT, wantT)
+	}
+}
+
+func TestDeltaUpdateCounter(t *testing.T) {
+	forceDelta(t)
+	reg := telemetry.NewRegistry()
+	e := NewEvaluator(params())
+	e.Metrics = reg
+	for i := 0; i < 5; i++ {
+		e.History.Add("A", Record{When: float64(i * 60), TimeGain: 1})
+	}
+	e.fadedSums("A", 600)
+	e.flushDeltaUpdates()
+	ctr := reg.Counter("idxflow_gain_delta_updates_total", "")
+	if got := ctr.Value(); got <= 0 {
+		t.Fatalf("idxflow_gain_delta_updates_total = %g, want > 0", got)
+	}
+}
+
+func TestAllFuncSortedAndShared(t *testing.T) {
+	h := NewHistory()
+	h.Add("b", Record{When: 1})
+	h.Add("a", Record{When: 2})
+	h.Add("a", Record{When: 3})
+	var order []string
+	h.AllFunc(func(k string, rs []Record) bool {
+		order = append(order, k)
+		if &rs[0] != &h.recs[k][0] {
+			t.Errorf("AllFunc copied %s's records", k)
+		}
+		return true
+	})
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("AllFunc order %v, want [a b]", order)
+	}
+	// Early stop.
+	n := 0
+	h.AllFunc(func(string, []Record) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("AllFunc visited %d after stop, want 1", n)
+	}
+}
+
+func TestAllDeepCopies(t *testing.T) {
+	h := NewHistory()
+	h.Add("a", Record{When: 2, TimeGain: 1})
+	h.Add("b", Record{When: 5})
+	cp := h.All()
+	cp["a"][0].TimeGain = 99
+	if h.recs["a"][0].TimeGain != 1 {
+		t.Fatal("All returned shared storage; mutation leaked into history")
+	}
+	if len(cp) != 2 || len(cp["a"]) != 1 || len(cp["b"]) != 1 {
+		t.Fatalf("All shape wrong: %v", cp)
+	}
+}
+
+func TestPruneDoesNotAllocate(t *testing.T) {
+	h := NewHistory()
+	for i := 0; i < 1000; i++ {
+		h.Add("a", Record{When: float64(i)})
+	}
+	allocs := testing.AllocsPerRun(10, func() { h.Prune(0) })
+	if allocs > 0 {
+		t.Fatalf("Prune allocated %g times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkFadedSumDelta(b *testing.B) {
+	p := Params{Alpha: 0.5, FadeD: 60, WindowW: 0, Pricing: cloud.DefaultPricing()}
+	e := NewEvaluator(p)
+	q := p.Pricing.QuantumSeconds
+	for i := 0; i < 10000; i++ {
+		e.History.Add("A", Record{When: float64(i) * q, TimeGain: 1, MoneyGain: 1})
+	}
+	now := 10000 * q
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += q
+		e.fadedSums("A", now)
+	}
+}
+
+func BenchmarkFadedSumWalk(b *testing.B) {
+	p := Params{Alpha: 0.5, FadeD: 60, WindowW: 0, Pricing: cloud.DefaultPricing()}
+	e := NewEvaluator(p)
+	q := p.Pricing.QuantumSeconds
+	for i := 0; i < 10000; i++ {
+		e.History.Add("A", Record{When: float64(i) * q, TimeGain: 1, MoneyGain: 1})
+	}
+	now := 10000 * q
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += q
+		e.fadedSum("A", now, func(r Record) float64 { return r.TimeGain })
+	}
+}

@@ -86,6 +86,15 @@ type Costs struct {
 // list of §3 restricted to what the gain model needs).
 type History struct {
 	recs map[string][]Record
+	// gen counts structural rewrites (Prune, Replace): operations that
+	// invalidate positional cursors into the record slices. Appends do not
+	// bump it — they preserve every existing record's position, which is
+	// exactly what the delta aggregates rely on.
+	gen uint64
+	// delta holds the per-index running fading aggregates that replace the
+	// O(records) fadedSum walks on the hot path; see delta.go for why they
+	// live here rather than on the Evaluator.
+	delta histDelta
 }
 
 // NewHistory returns an empty history.
@@ -102,12 +111,39 @@ func (h *History) Add(index string, r Record) {
 // mutate).
 func (h *History) Records(index string) []Record { return h.recs[index] }
 
-// All returns a deep copy of every index's records, for serialization.
-func (h *History) All() map[string][]Record {
-	out := make(map[string][]Record, len(h.recs))
-	for k, rs := range h.recs {
-		out[k] = append([]Record(nil), rs...)
+// AllFunc calls fn with every index's records in sorted index order,
+// stopping early when fn returns false. The slices are the history's own —
+// read-only for the callback — so iteration allocates nothing beyond the
+// key ordering.
+func (h *History) AllFunc(fn func(index string, recs []Record) bool) {
+	keys := make([]string, 0, len(h.recs))
+	for k := range h.recs {
+		keys = append(keys, k)
 	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, h.recs[k]) {
+			return
+		}
+	}
+}
+
+// All returns a deep copy of every index's records, for serialization. The
+// copies share one backing array, so the call costs three allocations
+// regardless of index count.
+func (h *History) All() map[string][]Record {
+	total := 0
+	for _, rs := range h.recs {
+		total += len(rs)
+	}
+	out := make(map[string][]Record, len(h.recs))
+	arena := make([]Record, 0, total)
+	h.AllFunc(func(k string, rs []Record) bool {
+		start := len(arena)
+		arena = append(arena, rs...)
+		out[k] = arena[start:len(arena):len(arena)]
+		return true
+	})
 	return out
 }
 
@@ -118,12 +154,15 @@ func (h *History) Replace(recs map[string][]Record) {
 	for k, rs := range recs {
 		h.recs[k] = append([]Record(nil), rs...)
 	}
+	h.gen++
 }
 
 // Prune drops records older than the given time point in seconds, bounding
 // memory for long-running services. Records inside any active window must
-// not be pruned.
+// not be pruned. Kept records are compacted in place — pruning never
+// allocates.
 func (h *History) Prune(before float64) {
+	pruned := false
 	for k, rs := range h.recs {
 		keep := rs[:0]
 		for _, r := range rs {
@@ -131,11 +170,17 @@ func (h *History) Prune(before float64) {
 				keep = append(keep, r)
 			}
 		}
+		if len(keep) != len(rs) {
+			pruned = true
+		}
 		if len(keep) == 0 {
 			delete(h.recs, k)
 		} else {
 			h.recs[k] = keep
 		}
+	}
+	if pruned {
+		h.gen++
 	}
 }
 
@@ -165,7 +210,10 @@ func NewEvaluator(p Params) *Evaluator {
 	return &Evaluator{Params: p, History: NewHistory()}
 }
 
-// fadedSum accumulates Σ δ(d,t)·dc(δT_d)·gain over the index's records.
+// fadedSum accumulates Σ δ(d,t)·dc(δT_d)·gain over the index's records —
+// the reference O(records) walk. The hot path goes through fadedSums
+// (delta.go), which falls back to this walk whenever the delta algebra
+// does not apply (FadeOverride, unsorted history).
 func (e *Evaluator) fadedSum(index string, now float64, pick func(Record) float64) float64 {
 	q := e.Params.Pricing.QuantumSeconds
 	var sum float64
@@ -190,7 +238,8 @@ func (e *Evaluator) fadedSum(index string, now float64, pick func(Record) float6
 //
 //	gt = Σ δ(d_i,t)·dc(δT)·gtd(idx, d_i) − ti(idx).
 func (e *Evaluator) TimeGain(c Costs, now float64) float64 {
-	return e.fadedSum(c.Name, now, func(r Record) float64 { return r.TimeGain }) - c.BuildQuanta
+	sumT, _ := e.fadedSums(c.Name, now)
+	return sumT - c.BuildQuanta
 }
 
 // MoneyGain returns gm(idx, t) in dollars (Eq. 4):
@@ -198,7 +247,8 @@ func (e *Evaluator) TimeGain(c Costs, now float64) float64 {
 //	gm = Σ δ(d_i,t)·dc(δT)·Mc·gmd(idx, d_i) − (Mc·mi(idx) + st(idx, W)).
 func (e *Evaluator) MoneyGain(c Costs, now float64) float64 {
 	mc := e.Params.Pricing.VMPerQuantum
-	sum := e.fadedSum(c.Name, now, func(r Record) float64 { return r.MoneyGain }) * mc
+	_, sumM := e.fadedSums(c.Name, now)
+	sum := sumM * mc
 	w := e.Params.WindowW
 	if w <= 0 {
 		w = 1
@@ -281,6 +331,7 @@ func (e *Evaluator) Rank(candidates []Costs, now float64) []Ranked {
 	e.Metrics.Counter("idxflow_gain_beneficial_total",
 		"Candidates that passed the beneficial test (gt > 0 and gm > 0).").
 		Add(float64(len(out)))
+	e.flushDeltaUpdates()
 	return out
 }
 

@@ -16,10 +16,14 @@
 // Flow of an admission: Submit reserves the tenant's fair share, enqueues
 // into a bounded queue (backpressure: *BackpressureError carrying a
 // Retry-After hint, surfaced by cmd/idxflow-server as HTTP 429), a worker
-// dequeues, takes the tenant lock, and runs a full Algorithm-1 pass via
-// core.Service.SubmitCtx; the fleet semaphore books the chosen schedule's
-// containers for the execution's (paced) duration. Drain stops new
-// admissions and completes the in-flight ones before shutdown.
+// dequeues and coalesces up to BatchMax queued admissions into one batched
+// window, groups them by tenant, takes each tenant's lock once and runs
+// the group's Algorithm-1 passes back to back via core.Service.SubmitCtx;
+// the fleet semaphore books the chosen schedule's containers for each
+// execution's (paced) duration. Batching amortizes lock traffic and lines
+// repeated scheduling problems up behind the tenant's warm frontier memo;
+// per-admission isolation, provenance and settlement are unchanged. Drain
+// stops new admissions and completes the in-flight ones before shutdown.
 package qaas
 
 import (
@@ -49,6 +53,7 @@ const (
 	DefaultFleet          = 64
 	DefaultRetryAfter     = time.Second
 	DefaultMaxTenants     = 256
+	DefaultBatchMax       = 8
 )
 
 // MaxTenantNameLen bounds tenant identifiers; see ValidateTenantName.
@@ -125,6 +130,17 @@ type Config struct {
 	// (default provenance.DefaultCapacity). Size it above the expected
 	// events-per-tenant: a wrapped ring is unsound for AuditProvenance.
 	ProvenanceCapacity int
+	// BatchMax caps how many queued admissions a worker coalesces into one
+	// batched window (default 8). Within a batch, admissions for the same
+	// tenant run under a single tenant-lock acquisition back to back —
+	// consecutive identical scheduling problems then hit the tenant's warm
+	// frontier memo instead of re-solving. Negative (or 1) disables
+	// batching: every admission is its own window.
+	BatchMax int
+	// BatchWindow is how long a worker waits for further queued
+	// admissions to join a batch after dequeuing its first (default 0:
+	// coalesce only what is already queued, never add latency).
+	BatchWindow time.Duration
 	// RetryAfter is the backpressure hint returned with rejections
 	// (default 1s).
 	RetryAfter time.Duration
@@ -175,6 +191,7 @@ type instruments struct {
 	latency       *telemetry.Histogram
 	fleetInUse    *telemetry.Gauge
 	tenantsGauge  *telemetry.Gauge
+	batchSize     *telemetry.Histogram
 }
 
 // admission is one queued submission.
@@ -215,6 +232,7 @@ type Pipeline struct {
 	admitted    atomic.Int64
 	rejected    atomic.Int64
 	tenantCount atomic.Int64
+	batches     atomic.Int64
 
 	// execOverride replaces the worker's execution step in unit tests
 	// that need controllable timing without running the real tuner.
@@ -247,6 +265,12 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	if cfg.BatchMax < 1 {
+		cfg.BatchMax = 1
 	}
 	if cfg.Core.Sched.MaxContainers <= 0 ||
 		cfg.Core.Sched.MaxContainers > cfg.FleetContainers {
@@ -290,6 +314,9 @@ func New(cfg Config) *Pipeline {
 			"Container-fleet slots currently reserved by executions."),
 		tenantsGauge: tel.Gauge("idxflow_qaas_tenants",
 			"Tenants with instantiated service state."),
+		batchSize: tel.Histogram("idxflow_qaas_batch_size",
+			"Admissions coalesced per batched admission window.",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
 	}
 	p.fleet = newFleet(cfg.FleetContainers, cfg.PaceMSPerQuantum, quantum, p.ins.fleetInUse)
 	p.workers.Add(cfg.Workers)
@@ -447,30 +474,108 @@ func (p *Pipeline) worker() {
 	defer p.workers.Done()
 	for ad := range p.queue {
 		p.ins.queueDepth.Add(-1)
-		r := p.run(ad)
-		if r.err == nil && !r.res.Cancelled {
-			ad.t.admitted.Add(1)
-			p.admitted.Add(1)
-			p.ins.admitted.Inc()
-			p.ins.latency.Observe(time.Since(ad.enq).Seconds())
-		}
-		ad.t.inflight.Add(-1)
-		p.inFlight.Add(-1)
-		ad.done <- r
-		p.pending.Done()
+		p.runBatch(p.collectBatch(ad))
 	}
 }
 
-// run executes one admission: the tenant lock serializes Algorithm-1
-// passes within the tenant, the fleet hook (called inside SubmitCtx just
-// before execution) serializes the global slot booking.
-func (p *Pipeline) run(ad *admission) admissionResult {
-	if p.execOverride != nil {
-		return p.execOverride(ad)
+// collectBatch coalesces up to BatchMax-1 further queued admissions
+// behind the one just dequeued. With no BatchWindow it takes only what is
+// already queued (never adding latency); with a window it waits that long
+// for stragglers to join.
+func (p *Pipeline) collectBatch(first *admission) []*admission {
+	batch := []*admission{first}
+	max := p.cfg.BatchMax
+	if max <= 1 {
+		return batch
 	}
-	t := ad.t
+	if p.cfg.BatchWindow <= 0 {
+		for len(batch) < max {
+			select {
+			case ad, ok := <-p.queue:
+				if !ok {
+					return batch
+				}
+				p.ins.queueDepth.Add(-1)
+				batch = append(batch, ad)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	window := time.NewTimer(p.cfg.BatchWindow)
+	defer window.Stop()
+	for len(batch) < max {
+		select {
+		case ad, ok := <-p.queue:
+			if !ok {
+				return batch
+			}
+			p.ins.queueDepth.Add(-1)
+			batch = append(batch, ad)
+		case <-window.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch groups a batch's admissions by tenant (preserving arrival
+// order within each group) and runs each group under a single tenant-lock
+// acquisition. Groups of different tenants run concurrently — they contend
+// on nothing but the fleet semaphore, and serializing them on the one
+// worker that collected the batch would throw away exactly the
+// cross-tenant parallelism the worker pool exists for. Per-admission
+// execution, provenance, settlement and completion signalling are
+// unchanged from unbatched operation — batching only amortizes lock
+// traffic and lines identical scheduling problems up behind the tenant's
+// warm frontier memo.
+func (p *Pipeline) runBatch(batch []*admission) {
+	p.ins.batchSize.Observe(float64(len(batch)))
+	p.batches.Add(1)
+	var groups sync.WaitGroup
+	for i := 0; i < len(batch); i++ {
+		if batch[i] == nil {
+			continue
+		}
+		t := batch[i].t
+		group := []*admission{batch[i]}
+		for j := i + 1; j < len(batch); j++ {
+			if batch[j] != nil && batch[j].t == t {
+				group = append(group, batch[j])
+				batch[j] = nil
+			}
+		}
+		groups.Add(1)
+		go func() {
+			defer groups.Done()
+			p.runGroup(t, group)
+		}()
+	}
+	groups.Wait()
+}
+
+// runGroup executes one tenant's admissions of a batch back to back: the
+// tenant lock (taken once) serializes Algorithm-1 passes within the
+// tenant, the fleet hook (called inside SubmitCtx just before execution)
+// serializes the global slot booking.
+func (p *Pipeline) runGroup(t *Tenant, group []*admission) {
+	if p.execOverride != nil {
+		for _, ad := range group {
+			p.finish(ad, p.execOverride(ad))
+		}
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	for _, ad := range group {
+		p.finish(ad, p.runLocked(ad))
+	}
+}
+
+// runLocked executes one admission under the already-held tenant lock.
+func (p *Pipeline) runLocked(ad *admission) admissionResult {
+	t := ad.t
 	res := t.svc.SubmitCtx(ad.ctx, ad.flow)
 	if res.Cancelled {
 		err := ad.ctx.Err()
@@ -487,6 +592,21 @@ func (p *Pipeline) run(ad *admission) admissionResult {
 	total := p.ledger.settle(t.name, res.MoneyQuanta)
 	p.ins.tenantSettled.With(t.name).Set(total)
 	return admissionResult{res: res}
+}
+
+// finish publishes one admission's result and retires its in-flight
+// accounting, in the same order the unbatched worker loop used.
+func (p *Pipeline) finish(ad *admission, r admissionResult) {
+	if r.err == nil && !r.res.Cancelled {
+		ad.t.admitted.Add(1)
+		p.admitted.Add(1)
+		p.ins.admitted.Inc()
+		p.ins.latency.Observe(time.Since(ad.enq).Seconds())
+	}
+	ad.t.inflight.Add(-1)
+	p.inFlight.Add(-1)
+	ad.done <- r
+	p.pending.Done()
 }
 
 // QueueDepth reports the number of admissions currently queued.

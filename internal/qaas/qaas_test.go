@@ -23,7 +23,10 @@ func testConfig() Config {
 	cc.Sched.MaxContainers = 8
 	cc.MaxBuildOps = 16
 	cc.Telemetry = telemetry.NewRegistry()
-	return Config{Core: cc, Seed: 1, Shards: 4, QueueDepth: 4, Workers: 1, FleetContainers: 8}
+	// Batching off: these tests assert exact queue occupancy, which an
+	// eager batch drain would consume; batch behavior has its own tests.
+	return Config{Core: cc, Seed: 1, Shards: 4, QueueDepth: 4, Workers: 1,
+		FleetContainers: 8, BatchMax: -1}
 }
 
 // dummyFlow builds a trivial one-op flow; override-based tests never
@@ -48,16 +51,21 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 
 	var wg sync.WaitGroup
-	for i := 0; i < 3; i++ { // 1 executing + 2 queued
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if _, err := p.Submit(context.Background(), "t", dummyFlow()); err != nil {
-				t.Errorf("blocked submit failed: %v", err)
-			}
-		}()
+	submit := func() {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), "t", dummyFlow()); err != nil {
+			t.Errorf("blocked submit failed: %v", err)
+		}
 	}
-	<-entered // worker holds one admission
+	// One executing first: waiting for the worker to hold it guarantees
+	// the queue has room for exactly the next two.
+	wg.Add(1)
+	go submit()
+	<-entered                // worker holds one admission
+	for i := 0; i < 2; i++ { // 2 queued
+		wg.Add(1)
+		go submit()
+	}
 	waitFor(t, func() bool { return p.QueueDepth() == 2 })
 
 	_, err := p.Submit(context.Background(), "t", dummyFlow())

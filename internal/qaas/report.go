@@ -5,6 +5,7 @@ import (
 
 	"idxflow/internal/core"
 	"idxflow/internal/provenance"
+	"idxflow/internal/sched"
 )
 
 // FleetStats snapshots the container-fleet semaphore's audit trail.
@@ -47,6 +48,24 @@ type TenantReport struct {
 	// ProvenanceDropped reports ring overwrites; non-zero means the
 	// per-tenant log wrapped and is unsound for auditing.
 	ProvenanceDropped uint64 `json:"provenance_dropped"`
+	// Warm snapshots the tenant scheduler's warm-start counters and books.
+	Warm sched.WarmStats `json:"warm"`
+}
+
+// WarmSummary aggregates every tenant's warm-start counters.
+type WarmSummary struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// BatchStats summarizes the batched admission windows the workers ran.
+type BatchStats struct {
+	Batches  int64   `json:"batches"`
+	MeanSize float64 `json:"mean_size"`
+	P50Size  float64 `json:"p50_size"`
+	P95Size  float64 `json:"p95_size"`
 }
 
 // Report is a pipeline-wide snapshot for auditing and the /v1/qaas
@@ -62,6 +81,10 @@ type Report struct {
 	Rejected int64 `json:"rejected"`
 	// QueueDepth is the queued (not yet executing) admission count.
 	QueueDepth int `json:"queue_depth"`
+	// Warm aggregates the tenants' warm-start scheduler counters.
+	Warm WarmSummary `json:"warm"`
+	// Batch summarizes the batched admission windows.
+	Batch BatchStats `json:"batch"`
 }
 
 // Tenants returns every instantiated tenant, sorted by name.
@@ -111,6 +134,7 @@ func (p *Pipeline) Report() Report {
 		m := t.svc.Aggregates()
 		ev := t.prov.Snapshot()
 		dropped := t.prov.Dropped()
+		warm := t.svc.WarmStats()
 		t.mu.Unlock()
 		r.Tenants = append(r.Tenants, TenantReport{
 			Tenant:            n,
@@ -122,7 +146,20 @@ func (p *Pipeline) Report() Report {
 			Metrics:           m,
 			Events:            ev,
 			ProvenanceDropped: dropped,
+			Warm:              warm,
 		})
+		r.Warm.Hits += warm.Hits
+		r.Warm.Misses += warm.Misses
+		r.Warm.Invalidations += warm.Invalidations
+	}
+	if total := r.Warm.Hits + r.Warm.Misses; total > 0 {
+		r.Warm.HitRate = float64(r.Warm.Hits) / float64(total)
+	}
+	r.Batch = BatchStats{Batches: p.batches.Load()}
+	if c := p.ins.batchSize.Count(); c > 0 {
+		r.Batch.MeanSize = p.ins.batchSize.Sum() / float64(c)
+		r.Batch.P50Size = p.ins.batchSize.Quantile(0.50)
+		r.Batch.P95Size = p.ins.batchSize.Quantile(0.95)
 	}
 	return r
 }

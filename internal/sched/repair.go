@@ -62,7 +62,7 @@ func (s *Schedule) Repair(dead int, at float64) ([]RepairedOp, error) {
 		}
 		repairedAt[id] = RepairedOp{Op: id, Old: a, WastedSeconds: wasted}
 		orphans = append(orphans, id)
-		delete(s.assign, id)
+		s.clearAssign(id)
 	}
 	s.conts[dead] = kept
 	if len(orphans) == 0 {

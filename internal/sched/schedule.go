@@ -46,7 +46,16 @@ type Schedule struct {
 	// Pricing.VMPerQuantum describe type 0 semantics when Types is empty.
 	Types []cloud.VMType
 
-	assign map[dataflow.OpID]Assignment
+	// assign[id] is op id's placement, valid only when placed[id] is true.
+	// Operator IDs are dense (Graph assigns them from zero), so the books
+	// are OpID-indexed slices rather than a map: the skyline's candidate
+	// evaluation reads them millions of times per submission and dense
+	// addressing keeps the hot path off map hashing. The slices grow
+	// lazily because optional index-build ops join the graph after the
+	// schedule is created.
+	assign  []Assignment
+	placed  []bool
+	nPlaced int
 	// conts[c] lists the ops on container c ordered by start time.
 	conts [][]dataflow.OpID
 	// contType[c] is the index into Types of container c (0 if untyped).
@@ -58,6 +67,12 @@ type Schedule struct {
 	// ceil-divide per container is paid once per mutation instead of per
 	// read.
 	leaseQ []int
+	// seqIdleQ memoizes per container the longest contiguous idle run
+	// (-1 = stale), invalidated together with leaseQ. The skyline's
+	// §5.3.1 tie-break calls MaxSequentialIdle after single-container
+	// speculative moves, so only the touched container's runs are
+	// re-walked instead of the whole fleet's.
+	seqIdleQ []float64
 	// idleCap sizes the next IdleSlots result: the previous call's slot
 	// count, a pure capacity hint with no correctness role.
 	idleCap int
@@ -71,12 +86,50 @@ type Schedule struct {
 
 // NewSchedule returns an empty schedule for g.
 func NewSchedule(g *dataflow.Graph, pricing cloud.Pricing, spec cloud.Spec) *Schedule {
+	n := g.Len()
 	return &Schedule{
 		Graph:   g,
 		Pricing: pricing,
 		Spec:    spec,
-		assign:  make(map[dataflow.OpID]Assignment),
+		assign:  make([]Assignment, n),
+		placed:  make([]bool, n),
 		msValid: true,
+	}
+}
+
+// isPlaced reports whether op currently holds an assignment.
+func (s *Schedule) isPlaced(op dataflow.OpID) bool {
+	return op >= 0 && int(op) < len(s.placed) && s.placed[op]
+}
+
+// growOps extends the assignment books to cover every graph operator;
+// build-op injection grows the graph after the schedule exists.
+func (s *Schedule) growOps() {
+	if n := s.Graph.Len(); len(s.assign) < n {
+		for len(s.assign) < n {
+			s.assign = append(s.assign, Assignment{})
+			s.placed = append(s.placed, false)
+		}
+	}
+}
+
+// setAssign records op's placement in the dense books.
+func (s *Schedule) setAssign(op dataflow.OpID, a Assignment) {
+	if int(op) >= len(s.assign) {
+		s.growOps()
+	}
+	s.assign[op] = a
+	if !s.placed[op] {
+		s.placed[op] = true
+		s.nPlaced++
+	}
+}
+
+// clearAssign removes op's placement from the dense books.
+func (s *Schedule) clearAssign(op dataflow.OpID) {
+	if s.isPlaced(op) {
+		s.placed[op] = false
+		s.nPlaced--
 	}
 }
 
@@ -131,18 +184,18 @@ func (s *Schedule) Clone() *Schedule {
 		Pricing:  s.Pricing,
 		Spec:     s.Spec,
 		Types:    s.Types,
-		assign:   make(map[dataflow.OpID]Assignment, len(s.assign)),
+		assign:   append([]Assignment(nil), s.assign...),
+		placed:   append([]bool(nil), s.placed...),
+		nPlaced:  s.nPlaced,
 		conts:    make([][]dataflow.OpID, len(s.conts)),
 		contType: append([]int(nil), s.contType...),
 		leaseQ:   append([]int(nil), s.leaseQ...),
+		seqIdleQ: append([]float64(nil), s.seqIdleQ...),
 		idleCap:  s.idleCap,
 		msFirst:  s.msFirst,
 		msLast:   s.msLast,
 		msCount:  s.msCount,
 		msValid:  s.msValid,
-	}
-	for k, v := range s.assign {
-		c.assign[k] = v
 	}
 	for i, ops := range s.conts {
 		c.conts[i] = append([]dataflow.OpID(nil), ops...)
@@ -156,14 +209,9 @@ func (s *Schedule) Clone() *Schedule {
 // time with no allocations once its map and slices have grown.
 func (s *Schedule) CopyFrom(src *Schedule) {
 	s.Graph, s.Pricing, s.Spec, s.Types = src.Graph, src.Pricing, src.Spec, src.Types
-	if s.assign == nil {
-		s.assign = make(map[dataflow.OpID]Assignment, len(src.assign))
-	} else {
-		clear(s.assign)
-	}
-	for k, v := range src.assign {
-		s.assign[k] = v
-	}
+	s.assign = append(s.assign[:0], src.assign...)
+	s.placed = append(s.placed[:0], src.placed...)
+	s.nPlaced = src.nPlaced
 	for len(s.conts) < len(src.conts) {
 		s.conts = append(s.conts, nil)
 	}
@@ -173,18 +221,21 @@ func (s *Schedule) CopyFrom(src *Schedule) {
 	}
 	s.contType = append(s.contType[:0], src.contType...)
 	s.leaseQ = append(s.leaseQ[:0], src.leaseQ...)
+	s.seqIdleQ = append(s.seqIdleQ[:0], src.seqIdleQ...)
 	s.idleCap = src.idleCap
 	s.msFirst, s.msLast, s.msCount, s.msValid = src.msFirst, src.msLast, src.msCount, src.msValid
 }
 
 // Assignment returns the placement of op and whether it is assigned.
 func (s *Schedule) Assignment(op dataflow.OpID) (Assignment, bool) {
-	a, ok := s.assign[op]
-	return a, ok
+	if !s.isPlaced(op) {
+		return Assignment{}, false
+	}
+	return s.assign[op], true
 }
 
 // Assigned returns the number of assigned operators.
-func (s *Schedule) Assigned() int { return len(s.assign) }
+func (s *Schedule) Assigned() int { return s.nPlaced }
 
 // Containers returns the number of containers that hold at least one op.
 func (s *Schedule) Containers() int {
@@ -207,10 +258,10 @@ func (s *Schedule) NumSlots() int { return len(s.conts) }
 func (s *Schedule) ReadyTime(op dataflow.OpID, c int) (float64, error) {
 	var ready float64
 	for _, e := range s.Graph.In(op) {
-		pa, ok := s.assign[e.From]
-		if !ok {
+		if !s.isPlaced(e.From) {
 			return 0, fmt.Errorf("sched: predecessor %d of %d unassigned", e.From, op)
 		}
+		pa := s.assign[e.From]
 		t := pa.End
 		if pa.Container != c {
 			// The receiving container's network link paces the transfer.
@@ -237,14 +288,17 @@ func (s *Schedule) ensureContainer(c int) {
 	for len(s.conts) <= c {
 		s.conts = append(s.conts, nil)
 		s.contType = append(s.contType, 0)
-		s.leaseQ = append(s.leaseQ, 0) // empty container leases nothing
+		s.leaseQ = append(s.leaseQ, 0)     // empty container leases nothing
+		s.seqIdleQ = append(s.seqIdleQ, 0) // and has no idle runs
 	}
 }
 
-// invalidateLease marks container c's memoized lease quanta stale.
+// invalidateLease marks container c's memoized lease quanta and idle-run
+// books stale.
 func (s *Schedule) invalidateLease(c int) {
 	if c >= 0 && c < len(s.leaseQ) {
 		s.leaseQ[c] = -1
+		s.seqIdleQ[c] = -1
 	}
 }
 
@@ -265,10 +319,11 @@ func (s *Schedule) noteAssigned(a Assignment, optional bool) {
 // recomputeMakespan rebuilds the non-optional extent cache from scratch.
 func (s *Schedule) recomputeMakespan() {
 	s.msFirst, s.msLast, s.msCount = math.Inf(1), 0, 0
-	for id, a := range s.assign {
-		if s.Graph.Op(id).Optional {
+	for id := range s.assign {
+		if !s.placed[id] || s.Graph.Op(dataflow.OpID(id)).Optional {
 			continue
 		}
+		a := s.assign[id]
 		if s.msCount == 0 || a.Start < s.msFirst {
 			s.msFirst = a.Start
 		}
@@ -319,6 +374,7 @@ func (s *Schedule) rollbackShape(tok UndoToken) {
 		s.conts = s.conts[:tok.prevConts]
 		s.contType = s.contType[:tok.prevConts]
 		s.leaseQ = s.leaseQ[:tok.prevConts]
+		s.seqIdleQ = s.seqIdleQ[:tok.prevConts]
 	}
 	if tok.prevType >= 0 && tok.cont < len(s.contType) {
 		s.contType[tok.cont] = tok.prevType
@@ -333,7 +389,7 @@ func (s *Schedule) Undo(tok UndoToken) {
 		return
 	}
 	if tok.placed {
-		delete(s.assign, tok.op)
+		s.clearAssign(tok.op)
 		ops := s.conts[tok.cont]
 		for i, id := range ops {
 			if id == tok.op {
@@ -342,7 +398,7 @@ func (s *Schedule) Undo(tok UndoToken) {
 			}
 		}
 		for _, a := range tok.evicted {
-			s.assign[a.Op] = a
+			s.setAssign(a.Op, a)
 			ops := s.conts[tok.cont]
 			pos := sort.Search(len(ops), func(i int) bool { return s.assign[ops[i]].Start >= a.Start })
 			ops = append(ops, 0)
@@ -393,7 +449,7 @@ func (s *Schedule) AppendSpeculative(op dataflow.OpID, c, typeIdx int, duration 
 // appendOp implements Append; with wantEvicted it also collects the
 // optional assignments removed by preemption so callers can undo.
 func (s *Schedule) appendOp(op dataflow.OpID, c int, duration float64, wantEvicted bool) (Assignment, []Assignment, error) {
-	if _, dup := s.assign[op]; dup {
+	if s.isPlaced(op) {
 		return Assignment{}, nil, fmt.Errorf("sched: op %d already assigned", op)
 	}
 	o := s.Graph.Op(op)
@@ -431,7 +487,7 @@ func (s *Schedule) appendOp(op dataflow.OpID, c int, duration float64, wantEvict
 				if wantEvicted {
 					evicted = append(evicted, a)
 				}
-				delete(s.assign, id)
+				s.clearAssign(id)
 				continue
 			}
 			kept = append(kept, id)
@@ -439,7 +495,7 @@ func (s *Schedule) appendOp(op dataflow.OpID, c int, duration float64, wantEvict
 		s.conts[c] = kept
 	}
 	a := Assignment{Op: op, Container: c, Start: start, End: end}
-	s.assign[op] = a
+	s.setAssign(op, a)
 	// Keep the container's op list ordered by start time: evictions and
 	// preemption-aware starts can place the new op before a later optional
 	// op.
@@ -475,7 +531,7 @@ func (s *Schedule) PlaceAtSpeculative(op dataflow.OpID, c int, start, duration f
 }
 
 func (s *Schedule) placeAtOp(op dataflow.OpID, c int, start, duration float64) (Assignment, error) {
-	if _, dup := s.assign[op]; dup {
+	if s.isPlaced(op) {
 		return Assignment{}, fmt.Errorf("sched: op %d already assigned", op)
 	}
 	o := s.Graph.Op(op)
@@ -504,7 +560,7 @@ func (s *Schedule) placeAtOp(op dataflow.OpID, c int, start, duration float64) (
 		return Assignment{}, fmt.Errorf("sched: op %d overlaps successor interval on container %d", op, c)
 	}
 	a := Assignment{Op: op, Container: c, Start: start, End: end}
-	s.assign[op] = a
+	s.setAssign(op, a)
 	s.conts[c] = append(ops, 0)
 	copy(s.conts[c][pos+1:], s.conts[c][pos:])
 	s.conts[c][pos] = op
@@ -531,8 +587,8 @@ func (s *Schedule) Makespan() float64 {
 // counting optional ops too.
 func (s *Schedule) TotalSpan() float64 {
 	var last float64
-	for _, a := range s.assign {
-		if a.End > last {
+	for id, a := range s.assign {
+		if s.placed[id] && a.End > last {
 			last = a.End
 		}
 	}
@@ -663,32 +719,48 @@ func (s *Schedule) Fragmentation() float64 {
 // schedules with equal time and money the one with the most sequential idle
 // compute time is preferred, because index-build operators fit there.
 func (s *Schedule) MaxSequentialIdle() float64 {
-	// Walks the same quantum-split idle pieces IdleSlots materializes —
-	// including the ≤1e-9 sliver drop and the |prev.End−start|<1e-9 run
-	// merge — but folds them into the running maximum without allocating
-	// the slice. The skyline scheduler calls this once per candidate, so
-	// it is on the Fig6/Fig12 hot path.
-	q := s.Pricing.QuantumSeconds
+	// Idle runs never span containers, so the maximum is the max over the
+	// per-container books, each memoized alongside the lease memo: after a
+	// single-container speculative move only that container's runs are
+	// re-walked. The re-walk folds the same quantum-split idle pieces
+	// IdleSlots materializes — including the ≤1e-9 sliver drop and the
+	// |prev.End−start|<1e-9 run merge — without allocating the slice.
 	var best float64
 	for c := range s.conts {
 		if len(s.conts[c]) == 0 {
 			continue
 		}
-		leaseEnd := float64(s.leaseEndQuanta(c)) * q
-		run, prevEnd := 0.0, math.Inf(-1)
-		cursor := 0.0
-		for _, id := range s.conts[c] {
-			a := s.assign[id]
-			if a.Start > cursor {
-				run, prevEnd, best = idleRunFold(q, cursor, a.Start, run, prevEnd, best)
-			}
-			if a.End > cursor {
-				cursor = a.End
-			}
+		v := s.seqIdleQ[c]
+		if v < 0 {
+			v = s.contSeqIdle(c)
+			s.seqIdleQ[c] = v
 		}
-		if cursor < leaseEnd {
-			_, _, best = idleRunFold(q, cursor, leaseEnd, run, prevEnd, best)
+		if v > best {
+			best = v
 		}
+	}
+	return best
+}
+
+// contSeqIdle walks container c's idle gaps and returns its longest
+// contiguous idle run.
+func (s *Schedule) contSeqIdle(c int) float64 {
+	q := s.Pricing.QuantumSeconds
+	leaseEnd := float64(s.leaseEndQuanta(c)) * q
+	var best float64
+	run, prevEnd := 0.0, math.Inf(-1)
+	cursor := 0.0
+	for _, id := range s.conts[c] {
+		a := s.assign[id]
+		if a.Start > cursor {
+			run, prevEnd, best = idleRunFold(q, cursor, a.Start, run, prevEnd, best)
+		}
+		if a.End > cursor {
+			cursor = a.End
+		}
+	}
+	if cursor < leaseEnd {
+		_, _, best = idleRunFold(q, cursor, leaseEnd, run, prevEnd, best)
 	}
 	return best
 }
@@ -737,12 +809,16 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
-	for id, a := range s.assign {
+	for idx := range s.assign {
+		if !s.placed[idx] {
+			continue
+		}
+		id, a := dataflow.OpID(idx), s.assign[idx]
 		for _, e := range s.Graph.In(id) {
-			pa, ok := s.assign[e.From]
-			if !ok {
+			if !s.isPlaced(e.From) {
 				continue // partial schedule
 			}
+			pa := s.assign[e.From]
 			min := pa.End
 			if pa.Container != a.Container {
 				min += s.ContainerType(a.Container).Spec.TransferSeconds(e.Size)
@@ -766,8 +842,10 @@ func (s *Schedule) Assignments() []Assignment {
 // experiment and reuses one buffer across calls instead of allocating.
 func (s *Schedule) AssignmentsAppend(buf []Assignment) []Assignment {
 	buf = buf[:0]
-	for _, a := range s.assign {
-		buf = append(buf, a)
+	for id, a := range s.assign {
+		if s.placed[id] {
+			buf = append(buf, a)
+		}
 	}
 	sort.Slice(buf, func(i, j int) bool {
 		if buf[i].Container != buf[j].Container {

@@ -48,6 +48,11 @@ type Options struct {
 	// Now is the service time in seconds at scheduling, stamped onto
 	// provenance events emitted by consumers of these options.
 	Now float64
+	// Warm, when non-nil, carries scheduler state across submissions: the
+	// last frontier (replayed on an exact problem match) and per-container
+	// lease/idle books whose capacity hints seed fresh schedules. The
+	// warm path is bit-identical to cold at any Parallelism.
+	Warm *Warm
 }
 
 // DefaultOptions returns the Table 3 experiment configuration with a
@@ -321,6 +326,15 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 		"Worker-pool size used for skyline candidate expansion.").
 		Set(float64(workers))
 
+	var wsig []uint64
+	if sk.Opts.Warm != nil {
+		wsig = warmSig(g, &sk.Opts, withOptional)
+		if warm := sk.Opts.Warm.lookup(wsig); warm != nil {
+			span.SetAttr("warm_hit", true).SetAttr("frontier", len(warm))
+			return warm
+		}
+	}
+
 	topo, err := g.TopoSort()
 	if err != nil {
 		return nil
@@ -340,6 +354,7 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 
 	base := NewSchedule(g, sk.Opts.Pricing, sk.Opts.Spec)
 	base.Types = sk.Opts.Types
+	sk.Opts.Warm.seedHints(base)
 	sky := []candidate{{s: base}}
 	sky[0].p = sky[0].s.point()
 
@@ -387,47 +402,55 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 	// Workers claim members dynamically but always write to their member's
 	// slot, so the merged candidate order — and with it the Pareto filter's
 	// stable sort and every tie-break — is independent of scheduling.
+	// Backing arrays are kept across iterations; workers truncate their
+	// slot before filling it. The merged candidate set double-buffers:
+	// the surviving frontier aliases the buffer it was filtered in, so
+	// the next iteration fills the other one.
 	results := make([][]candidate, 0, len(sky))
+	var candsBufs [2][]candidate
+	flip := 0
 
 	for _, st := range order {
 		iterations.Inc()
-		results = results[:0]
-		for range sky {
+		for len(results) < len(sky) {
 			results = append(results, nil)
 		}
+		results = results[:len(sky)]
 		if st.optional {
 			// Union of the previous skyline and every gap placement
 			// (§5.3.2: "the previous skyline is kept and unioned with the
 			// set of schedules S before computing the new skyline").
 			ParallelFor(len(sky), workers, func(i int) {
+				// Each member is claimed by exactly one worker, so moves are
+				// measured by apply/undo directly on the member schedule: the
+				// former per-member scratch copy was restored through the
+				// same Undo path between candidates anyway, and dropping the
+				// O(ops) CopyFrom per member per iteration is one of the
+				// largest wins on the scheduling hot path. Undo restores the
+				// schedule exactly before advance() materializes survivors.
 				src := sky[i].s
+				local := results[i][:0]
+				results[i] = local
 				places := placements(src, st.id)
 				if len(places) == 0 {
 					return
 				}
-				scratch := getSchedule()
-				scratch.CopyFrom(src)
-				local := make([]candidate, 0, len(places))
 				for _, a := range places {
 					mv := move{op: st.id, cont: a.Container, start: a.Start, place: true}
-					if _, tok, err := scratch.PlaceAtSpeculative(mv.op, mv.cont, mv.start, -1); err == nil {
-						p := scratch.point()
-						scratch.Undo(tok)
+					if _, tok, err := src.PlaceAtSpeculative(mv.op, mv.cont, mv.start, -1); err == nil {
+						p := src.point()
+						src.Undo(tok)
 						local = append(local, candidate{src: src, mv: mv, p: p})
 					}
 				}
-				putSchedule(scratch)
 				results[i] = local
 			})
-			total := len(sky)
-			for i := range results {
-				total += len(results[i])
-			}
-			cands := make([]candidate, 0, total)
-			cands = append(cands, sky...)
+			cands := append(candsBufs[flip][:0], sky...)
 			for i := range results {
 				cands = append(cands, results[i]...)
 			}
+			candsBufs[flip] = cands
+			flip = 1 - flip
 			candidates.Add(float64(len(cands)))
 			sky = sk.advance(sky, cands, prefer)
 			frontier.Observe(float64(len(sky)))
@@ -443,13 +466,9 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 			if limit > sk.Opts.MaxContainers {
 				limit = sk.Opts.MaxContainers
 			}
-			scratch := getSchedule()
-			scratch.CopyFrom(src)
-			hint := limit
-			if n := len(sk.Opts.Types); n > 1 {
-				hint += n - 1
-			}
-			local := make([]candidate, 0, hint)
+			// Measure moves by apply/undo on the member schedule itself —
+			// see the optional-op expansion above for why this is exact.
+			local := results[i][:0]
 			for cont := 0; cont < limit; cont++ {
 				nTypes := 1
 				if cont >= used && len(sk.Opts.Types) > 1 {
@@ -460,24 +479,21 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 					if cont >= used && len(sk.Opts.Types) > 0 {
 						mv.typeIdx = ti
 					}
-					if _, tok, err := scratch.AppendSpeculative(mv.op, mv.cont, mv.typeIdx, -1); err == nil {
-						p := scratch.point()
-						scratch.Undo(tok)
+					if _, tok, err := src.AppendSpeculative(mv.op, mv.cont, mv.typeIdx, -1); err == nil {
+						p := src.point()
+						src.Undo(tok)
 						local = append(local, candidate{src: src, mv: mv, p: p})
 					}
 				}
 			}
-			putSchedule(scratch)
 			results[i] = local
 		})
-		total := 0
-		for i := range results {
-			total += len(results[i])
-		}
-		cands := make([]candidate, 0, total)
+		cands := candsBufs[flip][:0]
 		for i := range results {
 			cands = append(cands, results[i]...)
 		}
+		candsBufs[flip] = cands
+		flip = 1 - flip
 		if len(cands) == 0 {
 			return nil
 		}
@@ -490,6 +506,9 @@ func (sk *Skyline) run(g *dataflow.Graph, withOptional bool) []*Schedule {
 	out := make([]*Schedule, len(sky))
 	for i, c := range sky {
 		out[i] = c.s
+	}
+	if sk.Opts.Warm != nil {
+		sk.Opts.Warm.store(wsig, out)
 	}
 	return out
 }

@@ -3,8 +3,13 @@
 # summary (name, ns/op, allocs/op) to track the performance trajectory
 # across PRs.
 #
+# Full runs repeat every benchmark with -count=3 and keep the minimum
+# ns/op and allocs/op per benchmark: the minimum is the least-noisy
+# estimator of the code's intrinsic cost on a shared machine, so PR-to-PR
+# comparisons (scripts/bench_compare.sh) don't chase scheduler jitter.
+#
 # Usage:
-#   scripts/bench.sh [output.json]          full run (default BENCH_PR7.json)
+#   scripts/bench.sh [output.json]          full run (default BENCH_PR8.json)
 #   scripts/bench.sh -short [output.json]   single-iteration smoke run for CI
 set -eu
 
@@ -15,21 +20,21 @@ if [ "${1:-}" = "-short" ]; then
 	MODE=short
 	shift
 fi
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 
 if [ "$MODE" = "short" ]; then
 	# One iteration per benchmark: proves they all still run without
 	# spending CI minutes on statistically meaningful timings.
-	BENCHTIME="-benchtime=1x"
+	BENCHFLAGS="-benchtime=1x"
 else
-	BENCHTIME=""
+	BENCHFLAGS="-count=3"
 fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-# shellcheck disable=SC2086  # BENCHTIME is intentionally word-split
-go test -bench=. -benchmem $BENCHTIME -run='^$' ./... > "$RAW" 2>&1 || {
+# shellcheck disable=SC2086  # BENCHFLAGS is intentionally word-split
+go test -bench=. -benchmem $BENCHFLAGS -run='^$' ./... > "$RAW" 2>&1 || {
 	status=$?
 	cat "$RAW"
 	echo "benchmarks failed" >&2
@@ -39,8 +44,9 @@ cat "$RAW"
 
 # Benchmark output lines look like:
 #   BenchmarkName-8   123   456789 ns/op   1024 B/op   17 allocs/op
+# With -count=N each benchmark appears N times; keep the minimum of each
+# metric per benchmark, in first-appearance order.
 awk '
-BEGIN { print "["; n = 0 }
 /^Benchmark/ && /ns\/op/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -51,10 +57,24 @@ BEGIN { print "["; n = 0 }
 	}
 	if (ns == "") next
 	if (allocs == "") allocs = 0
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+	if (!(name in min_ns)) {
+		order[++n] = name
+		min_ns[name] = ns + 0
+		min_al[name] = allocs + 0
+	} else {
+		if (ns + 0 < min_ns[name]) min_ns[name] = ns + 0
+		if (allocs + 0 < min_al[name]) min_al[name] = allocs + 0
+	}
 }
-END { if (n) printf "\n"; print "]" }
+END {
+	print "["
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+			name, min_ns[name], min_al[name], (i < n) ? "," : ""
+	}
+	print "]"
+}
 ' "$RAW" > "$OUT"
 
 echo "wrote $(grep -c '"name"' "$OUT") benchmark results to $OUT"

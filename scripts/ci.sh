@@ -35,6 +35,13 @@ fi
 echo "== go test -race -short =="
 go test -race -short ./...
 
+# Warm-start soundness gate: the golden cold-vs-warm equivalence suite
+# (sched frontier memo, service-level metrics with faults, parallelism
+# 1/2/8) must pass under the race detector before anything ships.
+echo "== cold-vs-warm equivalence (race) =="
+go test -race -short -run 'TestWarm|TestServiceWarm|FuzzWarmFrontier' \
+	./internal/sched ./internal/core ./internal/check
+
 # Smoke-run the sim with the flight recorder on: the run must succeed,
 # explain itself, and write a parseable provenance log (the JSONL and
 # Chrome trace land in artifacts/ for CI upload).
