@@ -43,6 +43,7 @@ fuzz-short:
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzInterleave$$' -fuzztime $(FUZZ_SECONDS)s
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzGainWindow$$' -fuzztime $(FUZZ_SECONDS)s
 	$(GO) test ./internal/check -run '^$$' -fuzz '^FuzzWarmFrontier$$' -fuzztime $(FUZZ_SECONDS)s
+	$(GO) test ./internal/pagestore -run '^$$' -fuzz '^FuzzColumnPage$$' -fuzztime $(FUZZ_SECONDS)s
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -58,11 +59,11 @@ bench:
 bench-short:
 	scripts/bench.sh -short /dev/null
 
-# Compare the current BENCH_PR8.json (run `make bench` first) against the
-# committed BENCH_PR7.json baseline; fails on >15% ns/op or allocs/op
+# Compare the current BENCH_PR9.json (run `make bench` first) against the
+# committed BENCH_PR8.json baseline; fails on >15% ns/op or allocs/op
 # regression in any shared benchmark.
 bench-compare:
-	scripts/bench_compare.sh BENCH_PR7.json BENCH_PR8.json
+	scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json
 
 # Profile the experiment driver end to end; see README "Profiling" for how
 # to read the output. PROFILE_ARGS selects the workload (default fig6).

@@ -51,6 +51,18 @@ func BenchmarkTable6DiskSpeedups(b *testing.B) {
 	}
 }
 
+// BenchmarkTable6ScaleSpeedups runs the scalar-vs-vectorized-vs-index
+// harness end to end at a reduced scale: streamed load into row and
+// columnar disk tables, out-of-core index builds, the equivalence
+// pre-audit and all seven cross-checked queries.
+func BenchmarkTable6ScaleSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6Scale(0.005, 1, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3GainCurve regenerates the worked gain-over-time example.
 func BenchmarkFig3GainCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -18,10 +18,13 @@
 // Experiment ids: params, table4, table5, table6, fig3, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12 (phase workload, includes table7 and fig13),
 // table6disk (Table 6 against the disk-backed paged storage engine),
-// fig14 (random workload), fault (robustness under injected container
-// crashes, spot revocations, storage errors and stragglers; -faults and
-// -fault-seed control the sweep), ablation (design-knob sweeps; not in
-// "all"), all.
+// table6x100 (Table 6 at 100x the -scale setting: scalar vs vectorized vs
+// index over disk-backed row and columnar storage with bounded buffer
+// pools; not in "all" — the default -scale 0.05 runs it at scale 5, ~30M
+// rows, and CI smokes it with a reduced -scale), fig14 (random workload),
+// fault (robustness under injected container crashes, spot revocations,
+// storage errors and stragglers; -faults and -fault-seed control the
+// sweep), ablation (design-knob sweeps; not in "all"), all.
 package main
 
 import (
@@ -98,7 +101,7 @@ func main() {
 	}
 
 	run := func(id string) bool {
-		if id == "ablation" {
+		if id == "ablation" || id == "table6x100" {
 			return *exp == id // too heavy for "all"
 		}
 		return *exp == "all" || *exp == id
@@ -126,6 +129,14 @@ func main() {
 		res, err := experiments.Table6Disk(*scale, *seed, 64)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "table6disk:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table)
+	}
+	if run("table6x100") {
+		res, err := experiments.Table6Scale(*scale*100, *seed, 256)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table6x100:", err)
 			os.Exit(1)
 		}
 		fmt.Println(res.Table)
@@ -188,7 +199,7 @@ func main() {
 }
 
 func anyKnown(id string) bool {
-	known := "all params table4 table5 table6 table6disk fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table7 fig13 fig14 fault ablation"
+	known := "all params table4 table5 table6 table6disk table6x100 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table7 fig13 fig14 fault ablation"
 	for _, k := range strings.Fields(known) {
 		if id == k {
 			return true

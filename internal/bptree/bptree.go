@@ -350,8 +350,13 @@ func bulkFromSorted(order int, keys, vals []int64) *Tree {
 	for i := 0; i+1 < len(leaves); i++ {
 		leaves[i].next = leaves[i+1]
 	}
+	t.root = buildInternal(order, leaves)
+	return t
+}
 
-	// Build internal levels bottom-up with exactly-sized nodes.
+// buildInternal builds the internal levels bottom-up over the given leaf
+// (or lower-level) nodes with exactly-sized nodes, returning the root.
+func buildInternal(order int, leaves []*node) *node {
 	level := leaves
 	for len(level) > 1 {
 		parents := make([]*node, 0, (len(level)+order)/(order+1))
@@ -379,8 +384,108 @@ func bulkFromSorted(order int, keys, vals []int64) *Tree {
 		}
 		level = parents
 	}
-	t.root = level[0]
-	return t
+	return level[0]
+}
+
+// BulkLoader builds a tree incrementally from sorted (key, value) batches,
+// sealing full leaves as the stream arrives — the streaming counterpart of
+// BulkLoadSorted for out-of-core builds (external-sort merges) where the
+// full key array never exists in memory. Keys must arrive in
+// non-decreasing order across all Append calls; Finish assembles the
+// internal levels and returns the tree.
+type BulkLoader struct {
+	order    int
+	leaves   []*node
+	curKeys  []int64
+	curVals  []int64
+	lastKey  int64
+	any      bool
+	finished bool
+}
+
+// NewBulkLoader returns a loader for a tree of the given order (orders
+// below 4 are raised to 4, matching New and BulkLoad).
+func NewBulkLoader(order int) *BulkLoader {
+	if order < 4 {
+		order = 4
+	}
+	return &BulkLoader{order: order}
+}
+
+// Len returns the number of entries appended so far.
+func (b *BulkLoader) Len() int {
+	n := len(b.curKeys)
+	for _, l := range b.leaves {
+		n += len(l.keys)
+	}
+	return n
+}
+
+// Append adds a sorted batch of entries. The slices are copied; callers
+// may reuse them. Returns an error if keys regress within the batch or
+// against the previous batch.
+func (b *BulkLoader) Append(keys, vals []int64) error {
+	if b.finished {
+		return errors.New("bptree: BulkLoader used after Finish")
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("bptree: BulkLoader.Append length mismatch: %d keys, %d vals", len(keys), len(vals))
+	}
+	for i, k := range keys {
+		if b.any && k < b.lastKey {
+			return fmt.Errorf("bptree: BulkLoader.Append key %d at %d regresses below %d", k, i, b.lastKey)
+		}
+		// Seal the pending leaf once it is full and the next key differs —
+		// the same boundary rule as bulkFromSorted: a run of equal keys is
+		// never split across leaves.
+		if len(b.curKeys) >= b.order && k != b.lastKey {
+			b.seal()
+		}
+		if b.curKeys == nil {
+			b.curKeys = make([]int64, 0, b.order)
+			b.curVals = make([]int64, 0, b.order)
+		}
+		b.curKeys = append(b.curKeys, k)
+		b.curVals = append(b.curVals, vals[i])
+		b.lastKey = k
+		b.any = true
+	}
+	return nil
+}
+
+func (b *BulkLoader) seal() {
+	b.leaves = append(b.leaves, &node{
+		leaf: true,
+		keys: b.curKeys[:len(b.curKeys):len(b.curKeys)],
+		vals: b.curVals[:len(b.curVals):len(b.curVals)],
+	})
+	b.curKeys = nil
+	b.curVals = nil
+}
+
+// Finish seals the pending leaf, links the leaf chain, builds the internal
+// levels and returns the tree. The loader cannot be reused afterwards.
+func (b *BulkLoader) Finish() (*Tree, error) {
+	if b.finished {
+		return nil, errors.New("bptree: BulkLoader.Finish called twice")
+	}
+	b.finished = true
+	if len(b.curKeys) > 0 {
+		b.seal()
+	}
+	t := &Tree{order: b.order}
+	if len(b.leaves) == 0 {
+		t.root = &node{leaf: true}
+		return t, nil
+	}
+	for i := 0; i+1 < len(b.leaves); i++ {
+		b.leaves[i].next = b.leaves[i+1]
+		t.size += len(b.leaves[i].keys)
+	}
+	t.size += len(b.leaves[len(b.leaves)-1].keys)
+	t.root = buildInternal(b.order, b.leaves)
+	b.leaves = nil
+	return t, nil
 }
 
 func minKey(n *node) int64 {

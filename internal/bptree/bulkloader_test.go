@@ -1,0 +1,156 @@
+package bptree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// collect returns the full (key, val) scan of a tree.
+func collect(t *Tree) ([]int64, []int64) {
+	var ks, vs []int64
+	t.Scan(func(k, v int64) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
+}
+
+// TestBulkLoaderMatchesBulkLoadSorted streams the same sorted data in
+// varied batch sizes and requires an identical scan, a valid tree, and the
+// same structural stats as the one-shot loader.
+func TestBulkLoaderMatchesBulkLoadSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 10_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	k := int64(0)
+	for i := range keys {
+		// Dense duplicates: runs of up to 600 equal keys stress the
+		// never-split-a-run leaf boundary rule across batch boundaries.
+		if rng.Intn(100) != 0 {
+			k += int64(rng.Intn(3)) // frequent repeats
+		} else {
+			k += int64(rng.Intn(600))
+		}
+		keys[i] = k
+		vals[i] = int64(i)
+	}
+	want, err := BulkLoadSorted(DefaultOrder, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 7, 256, 1024, n} {
+		bl := NewBulkLoader(DefaultOrder)
+		for i := 0; i < n; i += batch {
+			end := i + batch
+			if end > n {
+				end = n
+			}
+			if err := bl.Append(keys[i:end], vals[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := bl.Len(); got != n {
+			t.Fatalf("batch %d: Len = %d, want %d", batch, got, n)
+		}
+		tree, err := bl.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("batch %d: tree.Len = %d, want %d", batch, tree.Len(), n)
+		}
+		gk, gv := collect(tree)
+		wk, wv := collect(want)
+		if !reflect.DeepEqual(gk, wk) || !reflect.DeepEqual(gv, wv) {
+			t.Fatalf("batch %d: scan differs from BulkLoadSorted", batch)
+		}
+		gn, gl := tree.Stats()
+		wn, wl := want.Stats()
+		if gn != wn || gl != wl {
+			t.Fatalf("batch %d: stats (%d nodes, %d leaves) differ from one-shot (%d, %d)",
+				batch, gn, gl, wn, wl)
+		}
+	}
+}
+
+func TestBulkLoaderEmpty(t *testing.T) {
+	bl := NewBulkLoader(DefaultOrder)
+	tree, err := bl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("empty loader tree has %d entries", tree.Len())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree.Insert(5, 50) // still usable as a live tree
+	if v, ok := tree.Get(5); !ok || v != 50 {
+		t.Fatal("insert into empty bulk-loaded tree failed")
+	}
+}
+
+func TestBulkLoaderErrors(t *testing.T) {
+	bl := NewBulkLoader(DefaultOrder)
+	if err := bl.Append([]int64{1, 2}, []int64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := bl.Append([]int64{5, 4}, []int64{0, 0}); err == nil {
+		t.Fatal("in-batch regression accepted")
+	}
+	bl = NewBulkLoader(DefaultOrder)
+	if err := bl.Append([]int64{10}, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Append([]int64{9}, []int64{0}); err == nil {
+		t.Fatal("cross-batch regression accepted")
+	}
+	if _, err := bl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Append([]int64{11}, []int64{0}); err == nil {
+		t.Fatal("Append after Finish accepted")
+	}
+	if _, err := bl.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+func TestBulkLoaderInsertAfterFinish(t *testing.T) {
+	bl := NewBulkLoader(8)
+	keys := make([]int64, 100)
+	vals := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i * 2)
+		vals[i] = int64(i)
+	}
+	if err := bl.Append(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := bl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tree.Insert(int64(i*2+1), int64(1000+i))
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", tree.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := tree.Get(int64(i*2 + 1)); !ok || v != int64(1000+i) {
+			t.Fatalf("inserted key %d missing", i*2+1)
+		}
+	}
+}

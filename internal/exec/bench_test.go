@@ -53,6 +53,90 @@ func BenchmarkIndexLookup(b *testing.B) {
 	}
 }
 
+func BenchmarkScanRange(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	maxKey := rows[len(rows)-1].OrderKey
+	lo, hi := maxKey/3, maxKey/3+maxKey/50+1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanRange(rows, OrderKey, lo, hi)
+	}
+}
+
+func BenchmarkVecSelectRange(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	cols := tpch.ColumnsFromRows(rows)
+	maxKey := rows[len(rows)-1].OrderKey
+	lo, hi := maxKey/3, maxKey/3+maxKey/50+1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecSelectRange(cols.OrderKey, lo, hi)
+	}
+}
+
+// The sort and group pairs use the commitdate key: order keys come out of
+// the generator already sorted (dense order numbers), which is the
+// comparison sort's best case and no sort's real workload; commit dates
+// are uniformly distributed.
+func BenchmarkScanOrderByCommitDate(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanOrderBy(rows, CommitDate)
+	}
+}
+
+func BenchmarkVecSortPositions(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	cols := tpch.ColumnsFromRows(rows)
+	keys := WidenInt32(nil, cols.CommitDate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecSortPositions(keys)
+	}
+}
+
+func BenchmarkScanGroup(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanGroup(rows, CommitDate)
+	}
+}
+
+func BenchmarkVecGroup(b *testing.B) {
+	rows := benchRows(b, 50_000)
+	cols := tpch.ColumnsFromRows(rows)
+	keys := WidenInt32(nil, cols.CommitDate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecGroup(keys, cols.Quantity)
+	}
+}
+
+func BenchmarkVecHashJoin(b *testing.B) {
+	left := benchRows(b, 10_000)
+	right := benchRows(b, 10_000)
+	lcols := tpch.ColumnsFromRows(left)
+	rcols := tpch.ColumnsFromRows(right)
+	h := VecBuildHash(rcols.OrderKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecHashJoin(lcols.OrderKey, h)
+	}
+}
+
+func BenchmarkVecSortMergeJoin(b *testing.B) {
+	left := benchRows(b, 10_000)
+	right := benchRows(b, 10_000)
+	lcols := tpch.ColumnsFromRows(left)
+	rcols := tpch.ColumnsFromRows(right)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VecSortMergeJoin(lcols.OrderKey, rcols.OrderKey)
+	}
+}
+
 func BenchmarkSortMergeJoin(b *testing.B) {
 	left := benchRows(b, 10_000)
 	right := benchRows(b, 10_000)

@@ -50,16 +50,31 @@ func BuildHash(rows []tpch.Row, key KeyFunc) HashIndex {
 // Lookup returns the positions of rows with the given key.
 func (h HashIndex) Lookup(k int64) []int32 { return h[k] }
 
+// posSorter stable-sorts a position slice by its parallel key slice
+// without any comparison closure: keys are extracted once up front, so a
+// comparison costs two slice loads instead of two KeyFunc calls.
+type posSorter struct {
+	keys []int64
+	pos  []int32
+}
+
+func (s posSorter) Len() int           { return len(s.pos) }
+func (s posSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s posSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.pos[i], s.pos[j] = s.pos[j], s.pos[i]
+}
+
 // ScanOrderBy returns row positions sorted by key using an O(n log n) sort
 // over the raw rows ("Order by" without an index).
 func ScanOrderBy(rows []tpch.Row, key KeyFunc) []int32 {
+	keys := make([]int64, len(rows))
 	out := make([]int32, len(rows))
-	for i := range out {
+	for i := range rows {
+		keys[i] = key(rows[i])
 		out[i] = int32(i)
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return key(rows[out[a]]) < key(rows[out[b]])
-	})
+	sort.Stable(posSorter{keys, out})
 	return out
 }
 
@@ -75,9 +90,11 @@ func IndexOrderBy(tree *bptree.Tree) []int32 {
 }
 
 // ScanRange returns the positions of rows with lo <= key < hi via a full
-// scan ("Select range" without an index, O(n)).
+// scan ("Select range" without an index, O(n)). The result is presized for
+// a few percent selectivity so typical ranges append without reallocating,
+// the same capacity-hint pattern IndexRange and IndexJoin use.
 func ScanRange(rows []tpch.Row, key KeyFunc, lo, hi int64) []int32 {
-	var out []int32
+	out := make([]int32, 0, len(rows)/16+16)
 	for i, r := range rows {
 		if k := key(r); k >= lo && k < hi {
 			out = append(out, int32(i))
@@ -168,9 +185,15 @@ type JoinPair struct {
 }
 
 // NestedLoopJoin joins two row sets on equal keys in O(n*m) ("Join" without
-// an index).
+// an index). As with SortMergeJoin, a 1:1 join yields min(n, m) pairs, so
+// the result starts at that capacity and only true many-many key runs grow
+// it.
 func NestedLoopJoin(left, right []tpch.Row, lkey, rkey KeyFunc) []JoinPair {
-	var out []JoinPair
+	hint := len(left)
+	if len(right) < hint {
+		hint = len(right)
+	}
+	out := make([]JoinPair, 0, hint)
 	for i, l := range left {
 		lk := lkey(l)
 		for j, r := range right {

@@ -1,0 +1,404 @@
+package exec
+
+import (
+	"math/bits"
+
+	"idxflow/internal/bptree"
+)
+
+// Vectorized operators: the same five §1 operator categories as the
+// row-at-a-time functions in exec.go, rewritten to process column slices
+// in blocks of BatchSize values per call. The scalar implementations are
+// the golden reference — check.AuditVectorized proves both paths produce
+// identical results on seed-reproducible workloads.
+//
+// The batch contract: operators take struct-of-arrays inputs (tpch.Columns
+// slices, or int64 blocks decoded from pagestore column pages), walk them
+// BatchSize values at a time, and communicate qualifying lanes through
+// selection vectors ([]int32 of block-relative positions) instead of
+// materializing intermediate rows.
+
+// BatchSize is the number of values a vectorized operator processes per
+// block: large enough to amortize per-block overhead, small enough that a
+// block of int64 keys (8 KB) stays in L1.
+const BatchSize = 1024
+
+// ColKey is a fixed-width integer column type.
+type ColKey interface {
+	~int32 | ~int64
+}
+
+// WidenInt32 appends src's values to dst as int64 — the glue between
+// int32 columns (CommitDate, Quantity) and the int64-keyed operators.
+func WidenInt32(dst []int64, src []int32) []int64 {
+	for _, v := range src {
+		dst = append(dst, int64(v))
+	}
+	return dst
+}
+
+// SelectRangeBlock appends to sel the selection vector of lanes in block
+// with lo <= v < hi (block-relative positions, in order). Pass sel[:0] to
+// reuse the buffer across blocks.
+func SelectRangeBlock[T ColKey](block []T, lo, hi T, sel []int32) []int32 {
+	for i, v := range block {
+		if v >= lo && v < hi {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// VecSelectRange returns the positions with lo <= key < hi — the
+// vectorized "Select range without an index": the column is walked in
+// BatchSize blocks, each producing a selection vector that is rebased and
+// appended to the result.
+func VecSelectRange[T ColKey](keys []T, lo, hi T) []int32 {
+	out := make([]int32, 0, len(keys)/16+16)
+	var selBuf [BatchSize]int32
+	for base := 0; base < len(keys); base += BatchSize {
+		end := base + BatchSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		sel := SelectRangeBlock(keys[base:end], lo, hi, selBuf[:0])
+		for _, lane := range sel {
+			out = append(out, int32(base)+lane)
+		}
+	}
+	return out
+}
+
+// VecLookup returns the position of the first value equal to k — the
+// vectorized "Lookup without an index" (block scan, early exit).
+func VecLookup[T ColKey](keys []T, k T) (int32, bool) {
+	for base := 0; base < len(keys); base += BatchSize {
+		end := base + BatchSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		for i, v := range keys[base:end] {
+			if v == k {
+				return int32(base + i), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// VecBuildHash builds a hash index over a key column without the per-row
+// KeyFunc indirection of BuildHash — the batched "build" half of the O(1)
+// lookup structure of §1.
+func VecBuildHash(keys []int64) HashIndex {
+	h := make(HashIndex, len(keys)/4)
+	for i, k := range keys {
+		h[k] = append(h[k], int32(i))
+	}
+	return h
+}
+
+// signBias maps int64 order onto uint64 order for radix sorting.
+const signBias = uint64(1) << 63
+
+// radixSortBiased stably sorts the sign-biased images of keys with an LSD
+// radix sort: O(n) per digit, with min/max folded during biasing so only
+// bits.Len64(min^max) worth of digits are histogrammed and single-bucket
+// digits are skipped (typical key columns — dense order keys, day counts —
+// differ in two or three low bytes, so most of the eight passes vanish).
+// Returns the position permutation and, when any pass ran, the sorted
+// biased keys; sortedBiased is nil when the input order is already the
+// stable answer (n < 2 or all keys equal).
+func radixSortBiased(keys []int64) (pos []int32, sortedBiased []uint64) {
+	n := len(keys)
+	pos = make([]int32, n)
+	for i := range pos {
+		pos[i] = int32(i)
+	}
+	if n < 2 {
+		return pos, nil
+	}
+
+	uk := make([]uint64, n)
+	min, max := ^uint64(0), uint64(0)
+	for i, k := range keys {
+		u := uint64(k) ^ signBias
+		uk[i] = u
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if min == max {
+		return pos, nil // all keys equal; identity order is the stable answer
+	}
+	digits := (bits.Len64(min^max) + 7) / 8
+	counts := make([][256]int32, digits)
+	for _, u := range uk {
+		for d := 0; d < digits; d++ {
+			counts[d][byte(u>>(8*uint(d)))]++
+		}
+	}
+
+	tmpK := make([]uint64, n)
+	tmpP := make([]int32, n)
+	srcK, dstK := uk, tmpK
+	srcP, dstP := pos, tmpP
+	var offs [256]int32
+	for d := 0; d < digits; d++ {
+		c := &counts[d]
+		// A digit where every key falls in one bucket permutes nothing.
+		trivial := false
+		for b := 0; b < 256; b++ {
+			if c[b] == int32(n) {
+				trivial = true
+				break
+			}
+			if c[b] != 0 {
+				break
+			}
+		}
+		if trivial {
+			continue
+		}
+		var sum int32
+		for b := 0; b < 256; b++ {
+			offs[b] = sum
+			sum += c[b]
+		}
+		shift := uint(8 * d)
+		for i, u := range srcK {
+			b := byte(u >> shift)
+			o := offs[b]
+			offs[b] = o + 1
+			dstK[o] = u
+			dstP[o] = srcP[i]
+		}
+		srcK, dstK = dstK, srcK
+		srcP, dstP = dstP, srcP
+	}
+	if &srcP[0] != &pos[0] {
+		copy(pos, srcP)
+	}
+	return pos, srcK
+}
+
+// VecSortPositions returns the row positions stably sorted by key — the
+// vectorized "Order by without an index", replacing the comparison sort of
+// ScanOrderBy with the radix sort above.
+func VecSortPositions(keys []int64) []int32 {
+	pos, _ := radixSortBiased(keys)
+	return pos
+}
+
+// VecSortKeysPositions returns the sorted key sequence alongside the
+// stable position permutation. The sorted keys fall out of the radix
+// sort's final pass for free, so consumers that need key order (merges,
+// grouping, sorted output) read them sequentially instead of gathering
+// keys[pos[i]] through n random accesses.
+func VecSortKeysPositions(keys []int64) ([]int64, []int32) {
+	pos, biased := radixSortBiased(keys)
+	sorted := make([]int64, len(keys))
+	if biased == nil {
+		copy(sorted, keys) // identity permutation: input order is sorted
+	} else {
+		for i, u := range biased {
+			sorted[i] = int64(u ^ signBias)
+		}
+	}
+	return sorted, pos
+}
+
+// countingMaxSpan bounds the key domain for the counting-sort fast path
+// of VecSortKeys: a histogram of at most this many buckets (8 MB of
+// counters) trades for skipping the radix scatter passes entirely.
+const countingMaxSpan = 1 << 20
+
+// VecSortKeys sorts the key column in place and returns it — the
+// vectorized "Order by" when only key order is needed (sorted output,
+// merge feeding, ordered folds). Narrow-domain columns (dates, day
+// counts, enums: max-min < countingMaxSpan) take a counting sort — one
+// histogram pass plus one sequential rewrite, no position permutation and
+// no per-element scatter, so a 30M-row sort allocates kilobytes instead
+// of the radix path's transient gigabyte. Wider domains fall back to the
+// radix sort of VecSortKeysPositions.
+func VecSortKeys(keys []int64) []int64 {
+	if len(keys) < 2 {
+		return keys
+	}
+	min, max := keys[0], keys[0]
+	for _, k := range keys[1:] {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	span := uint64(max) - uint64(min) // modular: correct even across the sign boundary
+	if span < countingMaxSpan {
+		counts := make([]int64, span+1)
+		for _, k := range keys {
+			counts[uint64(k)-uint64(min)]++
+		}
+		i := 0
+		for b, c := range counts {
+			v := min + int64(b)
+			for ; c > 0; c-- {
+				keys[i] = v
+				i++
+			}
+		}
+		return keys
+	}
+	sorted, _ := VecSortKeysPositions(keys)
+	return sorted
+}
+
+// VecGroup aggregates a key column with its quantity column — the
+// vectorized "Grouping": radix-sorted positions folded over the column
+// slices, no per-row closure or struct materialization.
+func VecGroup(keys []int64, quantity []int32) []Group {
+	if len(keys) == 0 {
+		return nil
+	}
+	// Narrow key domains (dates, enums) skip sorting entirely: aggregate
+	// counts and quantity sums into arrays indexed by key offset, then
+	// emit groups in key order. One pass, no permutation, no transient
+	// sort buffers.
+	min, max := keys[0], keys[0]
+	for _, k := range keys[1:] {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	if span := uint64(max) - uint64(min); span < countingMaxSpan {
+		counts := make([]int64, span+1)
+		sums := make([]int64, span+1)
+		for i, k := range keys {
+			b := uint64(k) - uint64(min)
+			counts[b]++
+			sums[b] += int64(quantity[i])
+		}
+		out := make([]Group, 0, 256)
+		for b, c := range counts {
+			if c > 0 {
+				out = append(out, Group{Key: min + int64(b), Count: c, SumQuantity: sums[b]})
+			}
+		}
+		return out
+	}
+	// Sorted keys are read sequentially; only the quantity column pays a
+	// gather through the permutation.
+	sorted, order := VecSortKeysPositions(keys)
+	out := make([]Group, 0, 256)
+	cur := -1
+	for i, p := range order {
+		k := sorted[i]
+		if cur < 0 || out[cur].Key != k {
+			out = append(out, Group{Key: k})
+			cur = len(out) - 1
+		}
+		out[cur].Count++
+		out[cur].SumQuantity += int64(quantity[p])
+	}
+	return out
+}
+
+// VecGroupSorted folds an already-sorted position order (for example from
+// an index scan) over the column slices.
+func VecGroupSorted(keys []int64, quantity []int32, order []int32) []Group {
+	if len(order) == 0 {
+		return nil
+	}
+	out := make([]Group, 0, 256)
+	cur := -1
+	for _, p := range order {
+		k := keys[p]
+		if cur < 0 || out[cur].Key != k {
+			out = append(out, Group{Key: k})
+			cur = len(out) - 1
+		}
+		out[cur].Count++
+		out[cur].SumQuantity += int64(quantity[p])
+	}
+	return out
+}
+
+// VecHashJoin probes the right-side hash index with the left key column in
+// BatchSize blocks — the batched probe half of the hash join. Output
+// order matches NestedLoopJoin: left position major, right position minor.
+func VecHashJoin(leftKeys []int64, right HashIndex) []JoinPair {
+	out := make([]JoinPair, 0, len(leftKeys))
+	for base := 0; base < len(leftKeys); base += BatchSize {
+		end := base + BatchSize
+		if end > len(leftKeys) {
+			end = len(leftKeys)
+		}
+		for i, k := range leftKeys[base:end] {
+			for _, rp := range right[k] {
+				out = append(out, JoinPair{int32(base + i), rp})
+			}
+		}
+	}
+	return out
+}
+
+// VecIndexJoin probes a right-side B+Tree with the left key column — the
+// vectorized index join, one reused probe buffer across all blocks.
+func VecIndexJoin(leftKeys []int64, rightTree *bptree.Tree) []JoinPair {
+	out := make([]JoinPair, 0, len(leftKeys))
+	var matches []int64
+	for base := 0; base < len(leftKeys); base += BatchSize {
+		end := base + BatchSize
+		if end > len(leftKeys) {
+			end = len(leftKeys)
+		}
+		for i, k := range leftKeys[base:end] {
+			matches = rightTree.GetAllAppend(matches[:0], k)
+			for _, v := range matches {
+				out = append(out, JoinPair{int32(base + i), int32(v)})
+			}
+		}
+	}
+	return out
+}
+
+// VecSortMergeJoin joins two key columns by radix-sorting both position
+// arrays and merging the sorted runs — the vectorized sort-merge join.
+// Output order matches the tree-based SortMergeJoin: key major, then left
+// insertion order, then right insertion order.
+func VecSortMergeJoin(leftKeys, rightKeys []int64) []JoinPair {
+	// The merge walks the sorted key arrays sequentially; the position
+	// permutations are only dereferenced to emit matched pairs.
+	lk, ls := VecSortKeysPositions(leftKeys)
+	rk, rs := VecSortKeysPositions(rightKeys)
+	hint := len(ls)
+	if len(rs) < hint {
+		hint = len(rs)
+	}
+	out := make([]JoinPair, 0, hint)
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case lk[i] < rk[j]:
+			i++
+		case lk[i] > rk[j]:
+			j++
+		default:
+			k := lk[i]
+			jStart := j
+			for i < len(ls) && lk[i] == k {
+				for j = jStart; j < len(rs) && rk[j] == k; j++ {
+					out = append(out, JoinPair{ls[i], rs[j]})
+				}
+				i++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"idxflow/internal/bptree"
+	"idxflow/internal/exec"
+	"idxflow/internal/pagestore"
+	"idxflow/internal/tpch"
+)
+
+// BuildIndexStreaming bulk-loads a B+Tree over key(r) -> packed RID like
+// Table.BuildIndex, but out of core: instead of materializing the full
+// key/RID arrays, (key, rid) pairs spill to sorted two-column run files
+// (written concurrently by opt.Workers sorters), and the k-way merge
+// streams sorted batches straight into bptree.BulkLoader. Peak memory is
+// O(Workers * MemRows), independent of the table size. The resulting tree
+// is identical to Table.BuildIndex's: run sorting is stable and the merge
+// tie-breaks equal keys by scan order, matching bptree.SortByKey.
+func BuildIndexStreaming(in *pagestore.Table, key Key, opt Options) (*bptree.Tree, error) {
+	opt = opt.withDefaults()
+	runs, err := makeIndexRuns(in, key, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer closeIndexRuns(runs)
+	return mergeIndexRuns(runs)
+}
+
+// indexRun is one sorted (key, rid) run spilled as a two-column table.
+type indexRun struct {
+	table *pagestore.ColumnTable
+	path  string
+	idx   int
+}
+
+func closeIndexRuns(runs []indexRun) {
+	for _, r := range runs {
+		r.table.Close()
+		os.Remove(r.path)
+	}
+}
+
+// writeIndexRun radix-sorts one chunk of (key, rid) pairs and spills it as
+// a columnar run file: two int64 columns, packed 512 values per page.
+func writeIndexRun(keys, vals []int64, idx int, tmpDir string) (indexRun, error) {
+	order := exec.VecSortPositions(keys)
+	sk := make([]int64, len(keys))
+	sv := make([]int64, len(vals))
+	for i, p := range order {
+		sk[i] = keys[p]
+		sv[i] = vals[p]
+	}
+	path := filepath.Join(tmpDir, fmt.Sprintf("idxrun-%04d.cols", idx))
+	rt, err := pagestore.CreateColumnTable(path, 4,
+		pagestore.ColSpec{Name: "key", Width: 8},
+		pagestore.ColSpec{Name: "rid", Width: 8})
+	if err != nil {
+		return indexRun{}, err
+	}
+	fail := func(err error) (indexRun, error) {
+		rt.Close()
+		os.Remove(path)
+		return indexRun{}, err
+	}
+	if err := rt.AppendBatch(sk, sv); err != nil {
+		return fail(err)
+	}
+	if err := rt.Flush(); err != nil {
+		return fail(err)
+	}
+	return indexRun{table: rt, path: path, idx: idx}, nil
+}
+
+// makeIndexRuns scans the table once (the pool is not concurrency-safe)
+// and hands MemRows-sized (key, rid) chunks to a worker pool for sorting
+// and spilling.
+func makeIndexRuns(in *pagestore.Table, key Key, opt Options) ([]indexRun, error) {
+	type job struct {
+		keys, vals []int64
+		idx        int
+	}
+	jobs := make(chan job, opt.Workers)
+	results := make(chan indexRun, opt.Workers)
+	errs := make(chan error, opt.Workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := writeIndexRun(j.keys, j.vals, j.idx, opt.TmpDir)
+				if err != nil {
+					errs <- err
+					return
+				}
+				results <- r
+			}
+		}()
+	}
+
+	var runs []indexRun
+	collectDone := make(chan struct{})
+	go func() {
+		for r := range results {
+			runs = append(runs, r)
+		}
+		close(collectDone)
+	}()
+
+	keys := make([]int64, 0, opt.MemRows)
+	vals := make([]int64, 0, opt.MemRows)
+	nextIdx := 0
+	var feedErr error
+	scanErr := in.Scan(func(rid pagestore.RID, r tpch.Row) bool {
+		keys = append(keys, key(r))
+		vals = append(vals, rid.Pack())
+		if len(keys) >= opt.MemRows {
+			select {
+			case feedErr = <-errs:
+				return false
+			case jobs <- job{keys: keys, vals: vals, idx: nextIdx}:
+				nextIdx++
+				keys = make([]int64, 0, opt.MemRows)
+				vals = make([]int64, 0, opt.MemRows)
+			}
+		}
+		return true
+	})
+	if scanErr == nil && feedErr == nil && len(keys) > 0 {
+		select {
+		case feedErr = <-errs:
+		case jobs <- job{keys: keys, vals: vals, idx: nextIdx}:
+			nextIdx++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-collectDone
+
+	err := scanErr
+	if err == nil {
+		err = feedErr
+	}
+	if err == nil {
+		select {
+		case err = <-errs:
+		default:
+		}
+	}
+	if err != nil {
+		closeIndexRuns(runs)
+		return nil, err
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].idx < runs[j].idx })
+	return runs, nil
+}
+
+// idxRunCursor streams one run's (key, rid) pairs block at a time. Both
+// columns are width 8, so their page blocks stay in lockstep.
+type idxRunCursor struct {
+	keyCur, valCur *pagestore.ColCursor
+	keys, vals     []int64
+	pos            int
+}
+
+func (rc *idxRunCursor) refill() error {
+	var okK, okV bool
+	var err error
+	rc.keys, okK, err = rc.keyCur.NextBlock(rc.keys[:0])
+	if err != nil {
+		return err
+	}
+	rc.vals, okV, err = rc.valCur.NextBlock(rc.vals[:0])
+	if err != nil {
+		return err
+	}
+	if okK != okV || len(rc.keys) != len(rc.vals) {
+		return fmt.Errorf("extsort: index run columns out of step (%d keys, %d rids)", len(rc.keys), len(rc.vals))
+	}
+	rc.pos = 0
+	return nil
+}
+
+// mergeIndexRuns k-way merges the sorted runs into a BulkLoader, feeding
+// it exec.BatchSize-entry batches so the full sorted arrays never exist.
+func mergeIndexRuns(runs []indexRun) (*bptree.Tree, error) {
+	cursors := make([]*idxRunCursor, len(runs))
+	h := make(mergeHeap, 0, len(runs))
+	for i, r := range runs {
+		kc, err := r.table.NewColCursor(0)
+		if err != nil {
+			return nil, err
+		}
+		vc, err := r.table.NewColCursor(1)
+		if err != nil {
+			return nil, err
+		}
+		rc := &idxRunCursor{keyCur: kc, valCur: vc}
+		if err := rc.refill(); err != nil {
+			return nil, err
+		}
+		cursors[i] = rc
+		if len(rc.keys) > 0 {
+			h = append(h, mergeItem{key: rc.keys[0], src: i})
+			rc.pos = 1
+		}
+	}
+	heap.Init(&h)
+
+	loader := bptree.NewBulkLoader(bptree.DefaultOrder)
+	var batchK, batchV [exec.BatchSize]int64
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		err := loader.Append(batchK[:n], batchV[:n])
+		n = 0
+		return err
+	}
+	for h.Len() > 0 {
+		it := h[0]
+		rc := cursors[it.src]
+		batchK[n] = it.key
+		batchV[n] = rc.vals[rc.pos-1]
+		n++
+		if n == exec.BatchSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		if rc.pos >= len(rc.keys) {
+			if err := rc.refill(); err != nil {
+				return nil, err
+			}
+		}
+		if len(rc.keys) == 0 { // run exhausted
+			heap.Pop(&h)
+			continue
+		}
+		h[0] = mergeItem{key: rc.keys[rc.pos], src: it.src}
+		rc.pos++
+		heap.Fix(&h, 0)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return loader.Finish()
+}

@@ -1,0 +1,84 @@
+package tpch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestGenerateColumnsMatchesGenerate proves the streaming columnar
+// generator emits exactly the dataset of the row generator for the same
+// (scale, seed).
+func TestGenerateColumnsMatchesGenerate(t *testing.T) {
+	rows := Generate(0.001, 17)
+	cols := GenerateColumns(0.001, 17)
+	if cols.Len() != len(rows) {
+		t.Fatalf("columns len %d, rows len %d", cols.Len(), len(rows))
+	}
+	if !reflect.DeepEqual(cols.Rows(), rows) {
+		t.Fatal("GenerateColumns dataset differs from Generate")
+	}
+	if !reflect.DeepEqual(ColumnsFromRows(rows), cols) {
+		t.Fatal("ColumnsFromRows(Generate) differs from GenerateColumns")
+	}
+}
+
+// TestColumnsRoundTripProperty round-trips random row batches through the
+// columnar form exactly: Columns ↔ []Row must be lossless for every field.
+func TestColumnsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]Row, int(n))
+		for i := range rows {
+			rows[i] = Row{
+				OrderKey:      rng.Int63() - rng.Int63(),
+				CommitDate:    int32(rng.Int31() - rng.Int31()),
+				ShipInstruct:  uint8(rng.Intn(256)),
+				Comment:       randComment(rng),
+				Quantity:      rng.Int31(),
+				ExtendedPrice: rng.NormFloat64() * 1e6,
+			}
+		}
+		back := ColumnsFromRows(rows)
+		return reflect.DeepEqual(back.Rows(), rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestColumnsAppendRow checks the incremental Append/Row accessors agree
+// with the batch converters.
+func TestColumnsAppendRow(t *testing.T) {
+	rows := Generate(0.0002, 5)
+	var c Columns
+	c.Grow(len(rows))
+	for _, r := range rows {
+		c.Append(r)
+	}
+	for i, r := range rows {
+		if c.Row(i) != r {
+			t.Fatalf("row %d differs after Append: %+v vs %+v", i, c.Row(i), r)
+		}
+	}
+	if !reflect.DeepEqual(c, ColumnsFromRows(rows)) {
+		t.Fatal("Append-built columns differ from ColumnsFromRows")
+	}
+}
+
+// TestGenerateEachStreams checks the streaming generator visits rows in
+// Generate order without buffering.
+func TestGenerateEachStreams(t *testing.T) {
+	want := Generate(0.0005, 9)
+	i := 0
+	GenerateEach(0.0005, 9, func(r Row) {
+		if i < len(want) && want[i] != r {
+			t.Fatalf("row %d differs: %+v vs %+v", i, r, want[i])
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Fatalf("streamed %d rows, want %d", i, len(want))
+	}
+}

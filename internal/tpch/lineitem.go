@@ -42,15 +42,25 @@ const CommitDateDays = 7 * 365
 // from the seed. Order keys are assigned like TPC-H: dense order numbers,
 // each with 1-7 lineitems.
 func Generate(scale float64, seed int64) []Row {
-	rng := rand.New(rand.NewSource(seed))
 	target := int(float64(RowsPerScale) * scale)
 	rows := make([]Row, 0, target+7)
+	GenerateEach(scale, seed, func(r Row) { rows = append(rows, r) })
+	return rows
+}
+
+// GenerateEach streams the rows Generate would return, in the same order,
+// to emit — the bounded-memory form used when the dataset is loaded
+// straight into disk-backed storage at scales where []Row would not fit.
+func GenerateEach(scale float64, seed int64, emit func(Row)) {
+	rng := rand.New(rand.NewSource(seed))
+	target := int(float64(RowsPerScale) * scale)
+	generated := 0
 	var orderKey int64
-	for len(rows) < target {
+	for generated < target {
 		orderKey++
 		lines := 1 + rng.Intn(7)
 		for l := 0; l < lines; l++ {
-			rows = append(rows, Row{
+			emit(Row{
 				OrderKey:      orderKey,
 				CommitDate:    int32(rng.Intn(CommitDateDays)),
 				ShipInstruct:  uint8(rng.Intn(len(ShipInstructs))),
@@ -58,9 +68,9 @@ func Generate(scale float64, seed int64) []Row {
 				Quantity:      int32(1 + rng.Intn(50)),
 				ExtendedPrice: 900 + rng.Float64()*104000,
 			})
+			generated++
 		}
 	}
-	return rows
 }
 
 var commentWords = []string{

@@ -59,4 +59,10 @@ head -c 200 artifacts/events.jsonl | grep -q '"format":"idxflow-events/1"' || {
 echo "== loadgen smoke =="
 scripts/loadgen_smoke.sh
 
+# Vectorized-engine smoke: the 100x-scale Table 6 harness at a reduced
+# -scale (0.001*100 = scale 0.1, ~600k rows). The run fails if any
+# scalar/vectorized/index cross-check or the equivalence auditor fails.
+echo "== table6x100 smoke (reduced scale) =="
+go run ./cmd/idxflow-experiments -exp table6x100 -scale 0.001 >/dev/null
+
 echo "CI checks passed."
